@@ -1,0 +1,152 @@
+//! The six classical instantiations of the (f,g)-alliance problem
+//! (§6.1, items 1–6).
+//!
+//! Each constructor derives the per-node `f`/`g` vectors from the graph
+//! and returns a ready-to-run [`Fga`]; construction fails with
+//! [`FgaError::DegreeTooSmall`] on graphs where the solvability
+//! requirement `δ_u ≥ max(f(u), g(u))` does not hold (e.g. 2-domination
+//! on a path).
+
+use ssr_graph::Graph;
+
+use crate::fga::{Fga, FgaError};
+
+/// `⌈x / 2⌉` for the offensive/defensive/powerful thresholds.
+fn half_up(x: usize) -> u32 {
+    x.div_ceil(2) as u32
+}
+
+/// Item 1 — dominating set: `(1, 0)`-alliance.
+pub fn domination(graph: &Graph) -> Result<Fga, FgaError> {
+    let n = graph.node_count();
+    Fga::new(graph, vec![1; n], vec![0; n])
+}
+
+/// Item 2 — k-dominating set: `(k, 0)`-alliance.
+pub fn k_domination(graph: &Graph, k: u32) -> Result<Fga, FgaError> {
+    let n = graph.node_count();
+    Fga::new(graph, vec![k; n], vec![0; n])
+}
+
+/// Item 3 — k-tuple dominating set: `(k, k−1)`-alliance.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (a 0-tuple dominating set is meaningless).
+pub fn k_tuple_domination(graph: &Graph, k: u32) -> Result<Fga, FgaError> {
+    assert!(k >= 1, "k-tuple domination requires k >= 1");
+    let n = graph.node_count();
+    Fga::new(graph, vec![k; n], vec![k - 1; n])
+}
+
+/// Item 4 — global offensive alliance: `(f, 0)` with
+/// `f(u) = ⌈(δ_u + 1) / 2⌉`.
+pub fn global_offensive(graph: &Graph) -> Result<Fga, FgaError> {
+    let f = graph.nodes().map(|u| half_up(graph.degree(u) + 1)).collect();
+    let g = vec![0; graph.node_count()];
+    Fga::new(graph, f, g)
+}
+
+/// Item 5 — global defensive alliance: `(1, g)` with
+/// `g(u) = ⌈(δ_u + 1) / 2⌉`.
+///
+/// Note: defensive alliances have `f ≤ g`, the regime of the
+/// 1-minimality corner documented at the crate root.
+pub fn global_defensive(graph: &Graph) -> Result<Fga, FgaError> {
+    let f = vec![1; graph.node_count()];
+    let g = graph.nodes().map(|u| half_up(graph.degree(u) + 1)).collect();
+    Fga::new(graph, f, g)
+}
+
+/// Item 6 — global powerful alliance: `f(u) = ⌈(δ_u + 1) / 2⌉`,
+/// `g(u) = ⌈δ_u / 2⌉`.
+pub fn global_powerful(graph: &Graph) -> Result<Fga, FgaError> {
+    let f = graph.nodes().map(|u| half_up(graph.degree(u) + 1)).collect();
+    let g = graph.nodes().map(|u| half_up(graph.degree(u))).collect();
+    Fga::new(graph, f, g)
+}
+
+/// All six presets with labels (the E9 sweep).
+///
+/// Presets whose requirement fails on `graph` are skipped (e.g.
+/// `k`-domination needs minimum degree ≥ k).
+pub fn all_presets(graph: &Graph) -> Vec<(&'static str, Fga)> {
+    let candidates: Vec<(&'static str, Result<Fga, FgaError>)> = vec![
+        ("domination(1,0)", domination(graph)),
+        ("2-domination(2,0)", k_domination(graph, 2)),
+        ("2-tuple(2,1)", k_tuple_domination(graph, 2)),
+        ("offensive", global_offensive(graph)),
+        ("defensive", global_defensive(graph)),
+        ("powerful", global_powerful(graph)),
+    ];
+    candidates
+        .into_iter()
+        .filter_map(|(label, r)| r.ok().map(|fga| (label, fga)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+
+    #[test]
+    fn domination_thresholds() {
+        let g = generators::ring(5);
+        let fga = domination(&g).unwrap();
+        assert!(fga.f().iter().all(|&x| x == 1));
+        assert!(fga.g().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn k_domination_requires_degree() {
+        let g = generators::path(4); // endpoints have degree 1
+        assert!(k_domination(&g, 2).is_err());
+        let r = generators::ring(4);
+        assert!(k_domination(&r, 2).is_ok());
+    }
+
+    #[test]
+    fn offensive_thresholds_on_star() {
+        let g = generators::star(5); // hub degree 4, leaves 1
+        let fga = global_offensive(&g).unwrap();
+        assert_eq!(fga.f()[0], 3); // ⌈5/2⌉
+        assert_eq!(fga.f()[1], 1); // ⌈2/2⌉
+        assert!(fga.g().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn defensive_has_f_le_g() {
+        let g = generators::ring(6);
+        let fga = global_defensive(&g).unwrap();
+        for (f, g_) in fga.f().iter().zip(fga.g()) {
+            assert!(f <= g_);
+        }
+    }
+
+    #[test]
+    fn powerful_thresholds() {
+        let g = generators::complete(5); // δ = 4
+        let fga = global_powerful(&g).unwrap();
+        assert!(fga.f().iter().all(|&x| x == 3)); // ⌈5/2⌉
+        assert!(fga.g().iter().all(|&x| x == 2)); // ⌈4/2⌉
+    }
+
+    #[test]
+    fn all_presets_skips_unsatisfiable() {
+        let g = generators::path(4);
+        let presets = all_presets(&g);
+        let labels: Vec<_> = presets.iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"domination(1,0)"));
+        assert!(!labels.contains(&"2-domination(2,0)")); // endpoints too weak
+        let r = generators::torus(3, 3);
+        assert_eq!(all_presets(&r).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-tuple domination requires k >= 1")]
+    fn zero_tuple_panics() {
+        let g = generators::ring(4);
+        let _ = k_tuple_domination(&g, 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Independent verification of alliance outputs and the paper's bounds
+//! in closed form.
+//!
+//! Everything here is definition-level (no reuse of algorithm code), so
+//! a bug in [`crate::Fga`] cannot hide behind a matching bug in its
+//! checker.
+
+use ssr_graph::{Graph, NodeId};
+
+use crate::fga::FgaState;
+
+/// Extracts the membership vector (`col` bits) from FGA states.
+pub fn members<'a, I: IntoIterator<Item = &'a FgaState>>(states: I) -> Vec<bool> {
+    states.into_iter().map(|s| s.col).collect()
+}
+
+/// Number of neighbors of `u` inside the set.
+fn in_set_neighbors(graph: &Graph, set: &[bool], u: NodeId) -> u32 {
+    graph
+        .neighbors(u)
+        .iter()
+        .filter(|&&v| set[v.index()])
+        .count() as u32
+}
+
+/// Whether `set` is an (f,g)-alliance (§6.1): every outsider `u` has
+/// `≥ f(u)` member neighbors, every member `v` has `≥ g(v)` member
+/// neighbors.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_alliance::verify::is_alliance;
+/// use ssr_graph::generators;
+///
+/// let g = generators::path(3);
+/// // Middle node dominates both endpoints.
+/// assert!(is_alliance(&g, &[1, 1, 1], &[0, 0, 0], &[false, true, false]));
+/// assert!(!is_alliance(&g, &[1, 1, 1], &[0, 0, 0], &[true, false, false]));
+/// ```
+pub fn is_alliance(graph: &Graph, f: &[u32], g: &[u32], set: &[bool]) -> bool {
+    graph.nodes().all(|u| {
+        let have = in_set_neighbors(graph, set, u);
+        if set[u.index()] {
+            have >= g[u.index()]
+        } else {
+            have >= f[u.index()]
+        }
+    })
+}
+
+/// The members whose individual removal keeps the set an alliance
+/// (witnesses against 1-minimality).
+pub fn removable_members(graph: &Graph, f: &[u32], g: &[u32], set: &[bool]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut probe = set.to_vec();
+    for u in graph.nodes() {
+        if set[u.index()] {
+            probe[u.index()] = false;
+            if is_alliance(graph, f, g, &probe) {
+                out.push(u);
+            }
+            probe[u.index()] = true;
+        }
+    }
+    out
+}
+
+/// Whether `set` is a **1-minimal** (f,g)-alliance: an alliance from
+/// which no single member can be removed.
+pub fn is_one_minimal(graph: &Graph, f: &[u32], g: &[u32], set: &[bool]) -> bool {
+    is_alliance(graph, f, g, set) && removable_members(graph, f, g, set).is_empty()
+}
+
+/// The zero-g-slack removable members: those the published algorithm
+/// cannot elect because `#InAll(u) = g(u)`, hence `realScr(u) = 0` and
+/// `bestPtr(u) = ⊥` (see the crate-root note).
+pub fn one_minimality_gap(graph: &Graph, f: &[u32], g: &[u32], set: &[bool]) -> Vec<NodeId> {
+    removable_members(graph, f, g, set)
+        .into_iter()
+        .filter(|&u| in_set_neighbors(graph, set, u) == g[u.index()])
+        .collect()
+}
+
+/// Whether a terminal configuration's 1-minimality gap is fully
+/// explained by the documented corner.
+///
+/// In a terminal configuration, `canQ_w ⇔ A−{w}` is an alliance (for
+/// members), so Theorem 8's argument elects the *minimum-identifier*
+/// removable member `m*` — unless `m*` lacks g-slack
+/// (`#InAll(m*) = g(m*)`), which stalls `bestPtr(m*)` and can block all
+/// other removable members transitively. A faithful implementation
+/// therefore guarantees: either the set is 1-minimal, or the minimum-id
+/// removable member has zero g-slack. Returns `true` exactly in those
+/// cases.
+pub fn gap_explained_by_gslack_corner(
+    graph: &Graph,
+    f: &[u32],
+    g: &[u32],
+    ids: &[u64],
+    set: &[bool],
+) -> bool {
+    let removable = removable_members(graph, f, g, set);
+    match removable.iter().min_by_key(|&&u| ids[u.index()]) {
+        None => true,
+        Some(&m) => in_set_neighbors(graph, set, m) == g[m.index()],
+    }
+}
+
+/// Whether `set` is a **minimal** (f,g)-alliance: an alliance none of
+/// whose *proper subsets* is an alliance.
+///
+/// Exponential in `|set|` (exhaustive subset check) — intended for the
+/// Property 1 cross-validation on small instances.
+///
+/// # Panics
+///
+/// Panics if `set` has more than 20 members (2²⁰ subsets).
+pub fn is_minimal_alliance(graph: &Graph, f: &[u32], g: &[u32], set: &[bool]) -> bool {
+    if !is_alliance(graph, f, g, set) {
+        return false;
+    }
+    let members: Vec<NodeId> = graph.nodes().filter(|&u| set[u.index()]).collect();
+    assert!(
+        members.len() <= 20,
+        "exhaustive minimality check limited to 20 members"
+    );
+    let mut probe = vec![false; graph.node_count()];
+    // Every proper subset of the member set must fail.
+    for mask in 0..(1u32 << members.len()) - 1 {
+        probe.fill(false);
+        for (i, &u) in members.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                probe[u.index()] = true;
+            }
+        }
+        if is_alliance(graph, f, g, &probe) {
+            return false;
+        }
+    }
+    true
+}
+
+// ---- classical definitions (§6.1 items 1–6), stated independently ----
+
+/// Item 1: every node outside `set` has a neighbor in `set`.
+pub fn is_dominating_set(graph: &Graph, set: &[bool]) -> bool {
+    graph
+        .nodes()
+        .all(|u| set[u.index()] || in_set_neighbors(graph, set, u) >= 1)
+}
+
+/// Item 2: every node outside `set` has ≥ k neighbors in `set`.
+pub fn is_k_dominating_set(graph: &Graph, set: &[bool], k: u32) -> bool {
+    graph
+        .nodes()
+        .all(|u| set[u.index()] || in_set_neighbors(graph, set, u) >= k)
+}
+
+/// Item 3 (\[38\]): every node has `|N[v] ∩ set| ≥ k`.
+pub fn is_k_tuple_dominating_set(graph: &Graph, set: &[bool], k: u32) -> bool {
+    graph.nodes().all(|u| {
+        let closed = in_set_neighbors(graph, set, u) + u32::from(set[u.index()]);
+        closed >= k
+    })
+}
+
+/// Item 4: every node outside `set` has ≥ ⌈(δ_u + 1)/2⌉ neighbors in
+/// `set` (majority of its closed neighborhood attacks it).
+pub fn is_global_offensive_alliance(graph: &Graph, set: &[bool]) -> bool {
+    graph.nodes().all(|u| {
+        set[u.index()]
+            || in_set_neighbors(graph, set, u) >= (graph.degree(u) + 1).div_ceil(2) as u32
+    })
+}
+
+/// Item 5: `set` is dominating and every member has ≥ ⌈(δ_u + 1)/2⌉
+/// member neighbors.
+pub fn is_global_defensive_alliance(graph: &Graph, set: &[bool]) -> bool {
+    is_dominating_set(graph, set)
+        && graph.nodes().all(|u| {
+            !set[u.index()]
+                || in_set_neighbors(graph, set, u) >= (graph.degree(u) + 1).div_ceil(2) as u32
+        })
+}
+
+/// Item 6: offensive and defensive thresholds combined
+/// (`f = ⌈(δ+1)/2⌉`, `g = ⌈δ/2⌉`).
+pub fn is_global_powerful_alliance(graph: &Graph, set: &[bool]) -> bool {
+    graph.nodes().all(|u| {
+        let have = in_set_neighbors(graph, set, u);
+        if set[u.index()] {
+            have >= graph.degree(u).div_ceil(2) as u32
+        } else {
+            have >= (graph.degree(u) + 1).div_ceil(2) as u32
+        }
+    })
+}
+
+// ---- the paper's bounds in closed form ----
+
+/// Lemma 25: a process `v` executes at most `8·δ_v·Δ + 18·δ_v + 24`
+/// moves in any standalone FGA execution.
+pub fn lemma25_move_bound(delta_v: u64, max_degree: u64) -> u64 {
+    8 * delta_v * max_degree + 18 * delta_v + 24
+}
+
+/// Corollary 11: any standalone FGA execution has at most
+/// `16·Δ·m + 36·m + 24·n` moves.
+pub fn corollary11_move_bound(n: u64, m: u64, max_degree: u64) -> u64 {
+    16 * max_degree * m + 36 * m + 24 * n
+}
+
+/// Corollary 12: standalone FGA terminates within `5n + 4` rounds from
+/// any configuration satisfying `P5` (in particular from `γ_init`).
+pub fn corollary12_round_bound(n: u64) -> u64 {
+    5 * n + 4
+}
+
+/// Theorem 12: any `FGA ∘ SDR` execution has at most
+/// `(n+1)·(16·m·Δ + 36·m + 27·n)` moves.
+pub fn theorem12_move_bound(n: u64, m: u64, max_degree: u64) -> u64 {
+    (n + 1) * (16 * m * max_degree + 36 * m + 27 * n)
+}
+
+/// Theorem 14: `FGA ∘ SDR` stabilizes within `8n + 4` rounds.
+pub fn theorem14_round_bound(n: u64) -> u64 {
+    8 * n + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+
+    #[test]
+    fn alliance_definition() {
+        let g = generators::ring(4);
+        let f = vec![1; 4];
+        let gg = vec![0; 4];
+        assert!(is_alliance(&g, &f, &gg, &[true, false, true, false]));
+        assert!(!is_alliance(&g, &f, &gg, &[true, false, false, false]));
+        assert!(is_alliance(&g, &f, &gg, &[true, true, true, true]));
+    }
+
+    #[test]
+    fn one_minimality() {
+        let g = generators::ring(4);
+        let f = vec![1; 4];
+        let gg = vec![0; 4];
+        // Opposite corners: minimal dominating set of C4.
+        assert!(is_one_minimal(&g, &f, &gg, &[true, false, true, false]));
+        // Everything: removing any node keeps an alliance.
+        assert!(!is_one_minimal(&g, &f, &gg, &[true, true, true, true]));
+        assert_eq!(removable_members(&g, &f, &gg, &[true; 4]).len(), 4);
+    }
+
+    #[test]
+    fn one_minimal_not_necessarily_minimum() {
+        // A 1-minimal alliance needn't have minimum cardinality — the
+        // star's leaves form a 1-minimal dominating set of size n−1.
+        let g = generators::star(4);
+        let f = vec![1; 4];
+        let gg = vec![0; 4];
+        let leaves = [false, true, true, true];
+        assert!(is_one_minimal(&g, &f, &gg, &leaves));
+        let hub = [true, false, false, false];
+        assert!(is_one_minimal(&g, &f, &gg, &hub));
+    }
+
+    #[test]
+    fn classical_checkers_agree_with_alliance_formulation() {
+        let g = generators::random_connected(10, 8, 3);
+        // Enumerate a few random sets; alliance-based and classical
+        // formulations must agree.
+        let mut lcg = 12345u64;
+        for _ in 0..100 {
+            let set: Vec<bool> = (0..10)
+                .map(|_| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    lcg >> 63 == 1
+                })
+                .collect();
+            let f1: Vec<u32> = vec![1; 10];
+            let g0: Vec<u32> = vec![0; 10];
+            assert_eq!(
+                is_alliance(&g, &f1, &g0, &set),
+                is_dominating_set(&g, &set)
+            );
+            let f_off: Vec<u32> = g
+                .nodes()
+                .map(|u| (g.degree(u) + 1).div_ceil(2) as u32)
+                .collect();
+            assert_eq!(
+                is_alliance(&g, &f_off, &g0, &set),
+                is_global_offensive_alliance(&g, &set)
+            );
+            let f2: Vec<u32> = vec![2; 10];
+            let g1: Vec<u32> = vec![1; 10];
+            assert_eq!(
+                is_alliance(&g, &f2, &g1, &set),
+                is_k_tuple_dominating_set(&g, &set, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn k_tuple_counts_closed_neighborhood() {
+        let g = generators::path(3);
+        // {0, 1}: |N[0]∩S| = 2, |N[1]∩S| = 2, |N[2]∩S| = 1.
+        assert!(is_k_tuple_dominating_set(&g, &[true, true, false], 1));
+        assert!(!is_k_tuple_dominating_set(&g, &[true, true, false], 2));
+        assert!(is_k_tuple_dominating_set(&g, &[true, true, true], 2));
+    }
+
+    #[test]
+    fn defensive_requires_domination_too() {
+        let g = generators::path(4);
+        // {0, 1} dominates 2 but not 3.
+        assert!(!is_global_defensive_alliance(&g, &[true, true, false, false]));
+        assert!(is_global_defensive_alliance(&g, &[true, true, true, true]));
+    }
+
+    #[test]
+    fn bounds_closed_forms() {
+        assert_eq!(lemma25_move_bound(3, 5), 8 * 15 + 54 + 24);
+        assert_eq!(corollary12_round_bound(10), 54);
+        assert_eq!(theorem14_round_bound(10), 84);
+        assert!(theorem12_move_bound(10, 20, 4) > corollary11_move_bound(10, 20, 4));
+    }
+
+    #[test]
+    fn gap_characterization() {
+        // The star/defensive counterexample: A = V is terminal, every
+        // leaf is removable, and every removable member lacks g-slack.
+        let g = generators::star(5);
+        let f = vec![1; 5];
+        let gg: Vec<u32> = g
+            .nodes()
+            .map(|u| (g.degree(u) + 1).div_ceil(2) as u32)
+            .collect();
+        let all = vec![true; 5];
+        let removable = removable_members(&g, &f, &gg, &all);
+        assert_eq!(removable.len(), 4, "every leaf is removable");
+        let gap = one_minimality_gap(&g, &f, &gg, &all);
+        assert_eq!(gap, removable, "all failures are g-slack corners");
+        let ids: Vec<u64> = (0..5).collect();
+        assert!(gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &all));
+    }
+
+    #[test]
+    fn corner_explanation_requires_min_id_slackless() {
+        // One-minimal sets are trivially explained (no removable member).
+        let g = generators::ring(4);
+        let f = vec![1; 4];
+        let gg = vec![0; 4];
+        let ids: Vec<u64> = (0..4).collect();
+        assert!(gap_explained_by_gslack_corner(
+            &g,
+            &f,
+            &gg,
+            &ids,
+            &[true, false, true, false]
+        ));
+        // All-in on C4 with (1,0): node 0 is removable with slack
+        // (#InAll = 2 > g = 0) — NOT explained by the corner; a faithful
+        // terminal configuration can never look like this.
+        assert!(!gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &[true; 4]));
+    }
+}

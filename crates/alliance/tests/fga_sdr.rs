@@ -1,0 +1,283 @@
+//! Integration tests for FGA (§6.4) and `FGA ∘ SDR` (§6.5):
+//! Theorems 8–14 plus the six classical instantiations.
+
+use ssr_alliance::{fga_sdr, presets, verify, Fga};
+use ssr_core::Standalone;
+use ssr_graph::{generators, Graph};
+use ssr_runtime::rng::Xoshiro256StarStar;
+use ssr_runtime::{Daemon, Simulator};
+
+fn pointwise_f_gt_g(fga: &Fga) -> bool {
+    fga.f().iter().zip(fga.g()).all(|(f, g)| f > g)
+}
+
+/// Runs standalone FGA from γ_init; returns (members, rounds, stats).
+fn run_standalone(g: &Graph, fga: Fga, daemon: Daemon, seed: u64) -> (Vec<bool>, u64, u64, u64) {
+    let alg = Standalone::new(fga);
+    let init = alg.initial_config(g);
+    let mut sim = Simulator::new(g, alg, init, daemon, seed);
+    let out = sim.run_to_termination(50_000_000);
+    assert!(out.terminal, "FGA must terminate (Theorem 9)");
+    let members = verify::members(sim.states().iter());
+    (
+        members,
+        sim.stats().completed_rounds + 1,
+        sim.stats().moves,
+        sim.stats().max_moves_per_process(),
+    )
+}
+
+/// Theorems 8–10 / Corollaries 10–12 on the standalone algorithm.
+#[test]
+fn standalone_fga_terminates_with_valid_output_and_bounds() {
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("ring", generators::ring(10)),
+        ("star", generators::star(9)),
+        ("complete", generators::complete(7)),
+        ("grid", generators::grid(3, 3)),
+        ("random", generators::random_connected(10, 10, 21)),
+    ];
+    for (label, g) in &topologies {
+        let n = g.node_count() as u64;
+        let m = g.edge_count() as u64;
+        let delta = g.max_degree() as u64;
+        for (preset_label, fga) in presets::all_presets(g) {
+            let f = fga.f().to_vec();
+            let gg = fga.g().to_vec();
+            let ids = fga.ids().to_vec();
+            let strict = pointwise_f_gt_g(&fga);
+            let (members, rounds, moves, max_pp) =
+                run_standalone(g, fga, Daemon::RandomSubset { p: 0.5 }, 11);
+            assert!(
+                verify::is_alliance(g, &f, &gg, &members),
+                "{label}/{preset_label}: output is not an alliance"
+            );
+            if strict {
+                assert!(
+                    verify::is_one_minimal(g, &f, &gg, &members),
+                    "{label}/{preset_label}: output not 1-minimal (f > g pointwise)"
+                );
+            } else {
+                // Documented corner: the minimum-id removable member
+                // must lack g-slack (see crate docs).
+                assert!(
+                    verify::gap_explained_by_gslack_corner(g, &f, &gg, &ids, &members),
+                    "{label}/{preset_label}: 1-minimality failed outside the documented corner"
+                );
+            }
+            assert!(
+                rounds <= verify::corollary12_round_bound(n),
+                "{label}/{preset_label}: Corollary 12 violated ({rounds} > 5n+4)"
+            );
+            assert!(
+                moves <= verify::corollary11_move_bound(n, m, delta),
+                "{label}/{preset_label}: Corollary 11 violated"
+            );
+            let delta_max_bound = verify::lemma25_move_bound(delta, delta);
+            assert!(
+                max_pp <= delta_max_bound,
+                "{label}/{preset_label}: Lemma 25 violated ({max_pp} > {delta_max_bound})"
+            );
+        }
+    }
+}
+
+/// Theorem 11–14: `FGA ∘ SDR` is silent and self-stabilizing, within
+/// the move/round bounds, from arbitrary configurations.
+#[test]
+fn composed_fga_sdr_is_silent_self_stabilizing() {
+    let g = generators::random_connected(10, 8, 5);
+    let n = g.node_count() as u64;
+    let m = g.edge_count() as u64;
+    let delta = g.max_degree() as u64;
+    for daemon in [
+        Daemon::Synchronous,
+        Daemon::Central,
+        Daemon::RandomSubset { p: 0.4 },
+        Daemon::PreferHighRules,
+    ] {
+        for seed in 0..4 {
+            let fga = presets::domination(&g).unwrap();
+            let f = fga.f().to_vec();
+            let gg = fga.g().to_vec();
+            let algo = fga_sdr(fga);
+            let init = algo.arbitrary_config(&g, seed * 71 + 3);
+            let mut sim = Simulator::new(&g, algo, init, daemon.clone(), seed);
+            let out = sim.run_to_termination(50_000_000);
+            assert!(out.terminal, "silence (Theorem 12) under {daemon:?}");
+            assert!(
+                sim.stats().moves <= verify::theorem12_move_bound(n, m, delta),
+                "Theorem 12 move bound violated under {daemon:?}"
+            );
+            assert!(
+                sim.stats().completed_rounds < verify::theorem14_round_bound(n),
+                "Theorem 14 violated under {daemon:?}: {} rounds",
+                sim.stats().completed_rounds + 1
+            );
+            let members = verify::members(sim.states().iter().map(|s| &s.inner));
+            assert!(
+                verify::is_alliance(&g, &f, &gg, &members),
+                "terminal config not an alliance under {daemon:?}"
+            );
+            assert!(
+                verify::is_one_minimal(&g, &f, &gg, &members),
+                "terminal config not 1-minimal under {daemon:?} (Theorem 11)"
+            );
+        }
+    }
+}
+
+/// E9: preset outputs satisfy the classical definitions they reduce to.
+#[test]
+fn presets_satisfy_classical_definitions() {
+    let g = generators::torus(3, 3); // 4-regular: all presets valid
+    for (label, fga) in presets::all_presets(&g) {
+        let (members, _, _, _) = run_standalone(&g, fga, Daemon::Central, 5);
+        let ok = match label {
+            "domination(1,0)" => verify::is_dominating_set(&g, &members),
+            "2-domination(2,0)" => verify::is_k_dominating_set(&g, &members, 2),
+            "2-tuple(2,1)" => verify::is_k_tuple_dominating_set(&g, &members, 2),
+            "offensive" => verify::is_global_offensive_alliance(&g, &members),
+            "defensive" => verify::is_global_defensive_alliance(&g, &members),
+            "powerful" => verify::is_global_powerful_alliance(&g, &members),
+            other => panic!("unknown preset {other}"),
+        };
+        assert!(ok, "{label}: classical definition violated");
+    }
+}
+
+/// Identifier assignment must drive the outcome, not array order: with
+/// shuffled ids the result is still a valid 1-minimal alliance, and on
+/// a symmetric graph the quitting order follows the ids.
+#[test]
+fn identifiers_not_indices_drive_removals() {
+    let g = generators::complete(6);
+    let n = g.node_count();
+    // Reverse ids: node 5 has the smallest id.
+    let ids: Vec<u64> = (0..n as u64).rev().collect();
+    let fga = Fga::with_ids(&g, vec![1; n], vec![0; n], ids).unwrap();
+    let f = fga.f().to_vec();
+    let gg = fga.g().to_vec();
+    let (members, _, _, _) = run_standalone(&g, fga, Daemon::Central, 3);
+    assert!(verify::is_one_minimal(&g, &f, &gg, &members));
+    // On K6 with (1,0), the 1-minimal alliance is a single node; the
+    // survivor must be the one with the *largest* id = index 0.
+    let survivors: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(survivors, vec![0], "the largest-id process survives on K_n");
+}
+
+/// Local centrality of removals (§6.4): per step, at most one process
+/// of any closed neighborhood executes `rule_Clr`.
+#[test]
+fn removals_are_locally_central() {
+    let g = generators::random_connected(12, 10, 8);
+    let fga = presets::domination(&g).unwrap();
+    let alg = Standalone::new(fga);
+    let init = alg.initial_config(&g);
+    let mut sim = Simulator::new(&g, alg, init, Daemon::Synchronous, 2);
+    for _ in 0..10_000 {
+        match sim.step() {
+            ssr_runtime::StepOutcome::Terminal => break,
+            ssr_runtime::StepOutcome::Progress { .. } => {
+                let clears: Vec<_> = sim
+                    .last_activated()
+                    .iter()
+                    .filter(|&&(_, r)| r == ssr_alliance::RULE_CLR)
+                    .map(|&(u, _)| u)
+                    .collect();
+                for (i, &u) in clears.iter().enumerate() {
+                    for &v in &clears[i + 1..] {
+                        assert!(
+                            u != v && !sim.graph().are_neighbors(u, v),
+                            "neighbors {u:?} and {v:?} quit in the same step"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `realScr(u) ≥ 0` stays closed from clean configurations — the
+/// invariant the approval machinery protects (Lemma 22).
+#[test]
+fn real_scr_nonnegative_closed_from_gamma_init() {
+    let g = generators::random_connected(10, 8, 13);
+    let fga = presets::global_powerful(&g).unwrap();
+    let probe = fga.clone();
+    let alg = Standalone::new(fga);
+    let init = alg.initial_config(&g);
+    let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.6 }, 4);
+    for _ in 0..20_000 {
+        match sim.step() {
+            ssr_runtime::StepOutcome::Terminal => break,
+            ssr_runtime::StepOutcome::Progress { .. } => {
+                let view = sim.view();
+                for u in sim.graph().nodes() {
+                    assert!(
+                        probe.real_scr(u, &view) >= 0,
+                        "realScr({u:?}) went negative"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Random valid (f,g) pairs — not just the presets — produce verified
+/// alliances through the composition.
+#[test]
+fn random_fg_functions_through_composition() {
+    let g = generators::random_connected(9, 8, 17);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+    for trial in 0..6 {
+        let f: Vec<u32> = g
+            .nodes()
+            .map(|u| rng.below(g.degree(u) as u64 + 1) as u32)
+            .collect();
+        let gg: Vec<u32> = g
+            .nodes()
+            .map(|u| rng.below(g.degree(u) as u64 + 1) as u32)
+            .collect();
+        let fga = Fga::new(&g, f.clone(), gg.clone()).expect("δ ≥ max(f,g) by construction");
+        let ids = fga.ids().to_vec();
+        let algo = fga_sdr(fga);
+        let init = algo.arbitrary_config(&g, trial * 7 + 1);
+        let mut sim = Simulator::new(&g, algo, init, Daemon::Central, trial);
+        let out = sim.run_to_termination(50_000_000);
+        assert!(out.terminal);
+        let members = verify::members(sim.states().iter().map(|s| &s.inner));
+        assert!(
+            verify::is_alliance(&g, &f, &gg, &members),
+            "trial {trial}: not an alliance"
+        );
+        assert!(
+            verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members),
+            "trial {trial}: failure outside documented corner"
+        );
+    }
+}
+
+/// The star/defensive counterexample from the crate docs, reproduced
+/// end to end.
+#[test]
+fn defensive_star_exhibits_documented_corner() {
+    let g = generators::star(5);
+    let fga = presets::global_defensive(&g).unwrap();
+    let f = fga.f().to_vec();
+    let gg = fga.g().to_vec();
+    let (members, _, _, _) = run_standalone(&g, fga, Daemon::Central, 1);
+    assert!(verify::is_alliance(&g, &f, &gg, &members));
+    assert!(members.iter().all(|&b| b), "terminal config is A = V");
+    assert!(
+        !verify::is_one_minimal(&g, &f, &gg, &members),
+        "the corner exists: V is not 1-minimal on the star"
+    );
+    let removable = verify::removable_members(&g, &f, &gg, &members);
+    assert_eq!(verify::one_minimality_gap(&g, &f, &gg, &members), removable);
+}

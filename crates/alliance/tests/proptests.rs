@@ -1,0 +1,138 @@
+//! Property-based tests for the (f,g)-alliance machinery.
+
+use proptest::prelude::*;
+use ssr_alliance::{fga_sdr, verify, Fga};
+use ssr_core::{ResetInput, Standalone};
+use ssr_graph::generators;
+use ssr_runtime::rng::Xoshiro256StarStar;
+use ssr_runtime::{Daemon, NodeId, Simulator};
+
+/// Random instance: graph + valid (f, g) functions (δ ≥ max(f, g)).
+fn random_instance(n: usize, gseed: u64, fseed: u64) -> (ssr_graph::Graph, Fga) {
+    let g = generators::random_connected(n, n / 2, gseed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(fseed);
+    let f: Vec<u32> = g
+        .nodes()
+        .map(|u| rng.below(g.degree(u) as u64 + 1) as u32)
+        .collect();
+    let gg: Vec<u32> = g
+        .nodes()
+        .map(|u| rng.below(g.degree(u) as u64 + 1) as u32)
+        .collect();
+    let fga = Fga::new(&g, f, gg).expect("valid by construction");
+    (g, fga)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The full vertex set is always an (f,g)-alliance when
+    /// δ ≥ max(f, g) — the existence guarantee behind γ_init.
+    #[test]
+    fn full_set_is_alliance(n in 2usize..16, gseed in 0u64..50, fseed in 0u64..50) {
+        let (g, fga) = random_instance(n, gseed, fseed);
+        let all = vec![true; g.node_count()];
+        prop_assert!(verify::is_alliance(&g, fga.f(), fga.g(), &all));
+    }
+
+    /// 1-minimality implies alliance-hood (structure of the definition).
+    #[test]
+    fn one_minimal_implies_alliance(n in 2usize..12, gseed in 0u64..30, mask in 0u64..4096) {
+        let (g, fga) = random_instance(n, gseed, 7);
+        let set: Vec<bool> = (0..g.node_count()).map(|i| (mask >> i) & 1 == 1).collect();
+        if verify::is_one_minimal(&g, fga.f(), fga.g(), &set) {
+            prop_assert!(verify::is_alliance(&g, fga.f(), fga.g(), &set));
+            prop_assert!(verify::removable_members(&g, fga.f(), fga.g(), &set).is_empty());
+        }
+    }
+
+    /// Arbitrary FGA states stay within the declared variable domains.
+    #[test]
+    fn arbitrary_states_in_domain(n in 2usize..12, gseed in 0u64..30, sseed in 0u64..100) {
+        let (g, fga) = random_instance(n, gseed, 3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(sseed);
+        for u in g.nodes() {
+            let s = fga.arbitrary_state(u, &mut rng);
+            prop_assert!((-1..=1).contains(&s.scr));
+            if let Some(w) = s.ptr {
+                prop_assert!(w == u || g.are_neighbors(u, w), "ptr must stay in N[u]");
+            }
+        }
+    }
+
+    /// Standalone FGA terminates from γ_init with an alliance, and any
+    /// 1-minimality gap is the documented corner.
+    #[test]
+    fn standalone_terminates_with_alliance(
+        n in 2usize..10,
+        gseed in 0u64..20,
+        fseed in 0u64..20,
+        dseed in 0u64..20,
+    ) {
+        let (g, fga) = random_instance(n, gseed, fseed);
+        let f = fga.f().to_vec();
+        let gg = fga.g().to_vec();
+        let ids = fga.ids().to_vec();
+        let alg = Standalone::new(fga);
+        let init = alg.initial_config(&g);
+        let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, dseed);
+        let out = sim.run_to_termination(5_000_000);
+        prop_assert!(out.terminal);
+        let members = verify::members(sim.states().iter());
+        prop_assert!(verify::is_alliance(&g, &f, &gg, &members));
+        prop_assert!(verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members));
+    }
+
+    /// FGA ∘ SDR is silent from arbitrary configurations with a valid
+    /// alliance at termination (Theorems 11–12, randomized).
+    #[test]
+    fn composition_silent_from_arbitrary(
+        n in 2usize..9,
+        gseed in 0u64..15,
+        fseed in 0u64..15,
+        cseed in 0u64..30,
+    ) {
+        let (g, fga) = random_instance(n, gseed, fseed);
+        let f = fga.f().to_vec();
+        let gg = fga.g().to_vec();
+        let ids = fga.ids().to_vec();
+        let algo = fga_sdr(fga);
+        let init = algo.arbitrary_config(&g, cseed);
+        let mut sim = Simulator::new(&g, algo, init, Daemon::Central, cseed);
+        let out = sim.run_to_termination(5_000_000);
+        prop_assert!(out.terminal, "silence violated");
+        let members = verify::members(sim.states().iter().map(|s| &s.inner));
+        prop_assert!(verify::is_alliance(&g, &f, &gg, &members));
+        prop_assert!(verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members));
+    }
+
+    /// `realScr` matches a direct recomputation on arbitrary
+    /// configurations (macro correctness).
+    #[test]
+    fn real_scr_matches_definition(n in 2usize..12, gseed in 0u64..30, sseed in 0u64..100) {
+        let (g, fga) = random_instance(n, gseed, 11);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(sseed);
+        let states: Vec<_> = g.nodes().map(|u| fga.arbitrary_state(u, &mut rng)).collect();
+        let view = ssr_runtime::ConfigView::new(&g, &states);
+        for u in g.nodes() {
+            let have = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| states[v.index()].col)
+                .count() as u32;
+            let need = if states[u.index()].col {
+                fga.g()[u.index()]
+            } else {
+                fga.f()[u.index()]
+            };
+            let expected = if have < need { -1 } else if have == need { 0 } else { 1 };
+            prop_assert_eq!(fga.real_scr(u, &view), expected);
+        }
+    }
+}
+
+/// Non-proptest helper check: NodeId import used by signature above.
+#[test]
+fn node_id_reexport_compiles() {
+    let _ = NodeId(0);
+}

@@ -1,0 +1,58 @@
+//! E7/E8 wall-clock: FGA from `γ_init` and `FGA ∘ SDR` from arbitrary
+//! configurations, per preset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssr_alliance::{fga_sdr, presets};
+use ssr_core::Standalone;
+use ssr_graph::generators;
+use ssr_runtime::{Daemon, Simulator};
+
+fn fga_standalone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fga_standalone");
+    group.sample_size(10);
+    let g = generators::random_connected(32, 32, 0xA5);
+    for (label, _) in presets::all_presets(&g) {
+        group.bench_with_input(BenchmarkId::new("preset", label), &label, |b, _| {
+            b.iter(|| {
+                let fga = presets::all_presets(&g)
+                    .into_iter()
+                    .find(|(l, _)| *l == label)
+                    .expect("preset exists")
+                    .1;
+                let alg = Standalone::new(fga);
+                let init = alg.initial_config(&g);
+                let mut sim =
+                    Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, 3);
+                let out = sim.run_to_termination(50_000_000);
+                assert!(out.terminal);
+                black_box(sim.stats().moves)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fga_sdr_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fga_sdr");
+    group.sample_size(10);
+    for n in [12usize, 24, 48] {
+        let g = generators::random_connected(n, n, 0xA6);
+        group.bench_with_input(BenchmarkId::new("domination", n), &n, |b, _| {
+            b.iter(|| {
+                let fga = presets::domination(&g).expect("valid");
+                let algo = fga_sdr(fga);
+                let init = algo.arbitrary_config(&g, 0xFEED);
+                let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 7);
+                let out = sim.run_to_termination(100_000_000);
+                assert!(out.terminal);
+                black_box(sim.stats().moves)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fga_standalone, fga_sdr_stabilization);
+criterion_main!(benches);

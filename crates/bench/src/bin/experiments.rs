@@ -1,0 +1,64 @@
+//! Prints every reproduction table (E1–E12); `EXPERIMENTS.md` records a
+//! full run of this binary.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ssr-bench --bin experiments --release            # all tables
+//! cargo run -p ssr-bench --bin experiments --release -- e4      # a subset
+//! cargo run -p ssr-bench --bin experiments --release -- --quick # small sweep
+//! ```
+
+use ssr_bench::experiments::{self, ExpResult, Profile};
+
+fn print_result(r: &ExpResult) {
+    println!("## {} — {}\n", r.id, r.title);
+    print!("{}", r.table);
+    for note in &r.notes {
+        println!("\n> {note}");
+    }
+    println!(
+        "\n**{}**\n",
+        if r.pass {
+            "PASS — all paper bounds hold"
+        } else {
+            "FAIL — a bound was violated"
+        }
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let selected: Vec<ExpResult> = experiments::all(profile)
+        .into_iter()
+        .filter(|r| {
+            wanted.is_empty()
+                || r.id
+                    .to_lowercase()
+                    .split('+')
+                    .any(|part| wanted.iter().any(|w| w == part))
+        })
+        .collect();
+
+    let mut all_pass = true;
+    for r in &selected {
+        print_result(r);
+        all_pass &= r.pass;
+    }
+    println!(
+        "=== {} experiment group(s): {} ===",
+        selected.len(),
+        if all_pass { "ALL PASS" } else { "FAILURES PRESENT" }
+    );
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,718 @@
+//! The experiment implementations (E1–E12 of DESIGN.md §3).
+//!
+//! Each function returns an [`ExpResult`]: a markdown table with one
+//! row per configuration, a global `pass` flag (every paper bound
+//! held), and free-form notes. The `experiments` binary prints these;
+//! EXPERIMENTS.md records a full run.
+
+use ssr_alliance::{fga_sdr, presets, verify};
+use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
+use ssr_core::{alive_roots, toys::Agreement, Sdr, SegmentTracker, Standalone};
+use ssr_core::{RULE_C, RULE_R, RULE_RB, RULE_RF};
+use ssr_graph::{metrics, Graph, NodeId};
+use ssr_runtime::report::{ratio, Table};
+use ssr_runtime::rng::Xoshiro256StarStar;
+use ssr_runtime::{Algorithm, Daemon, Simulator, StepOutcome};
+use ssr_unison::{spec, unison_sdr, Unison};
+
+use crate::workloads::{daemon_suite, topology_suite, unison_tear, unison_tear_plain};
+
+/// Sweep profile: `Quick` for tests, `Full` for the release harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Small sizes, few trials (seconds in debug builds).
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Profile {
+    fn sizes(self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![8, 12],
+            Profile::Full => vec![16, 32, 64],
+        }
+    }
+
+    fn small_sizes(self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![8],
+            Profile::Full => vec![12, 24, 48],
+        }
+    }
+
+    fn trials(self) -> u64 {
+        match self {
+            Profile::Quick => 2,
+            Profile::Full => 5,
+        }
+    }
+
+    fn step_cap(self) -> u64 {
+        match self {
+            Profile::Quick => 5_000_000,
+            Profile::Full => 200_000_000,
+        }
+    }
+}
+
+/// One experiment's output.
+#[derive(Clone, Debug)]
+pub struct ExpResult {
+    /// Experiment id (e.g. `"E1+E2"`).
+    pub id: &'static str,
+    /// Human-readable claim being reproduced.
+    pub title: String,
+    /// The regenerated table.
+    pub table: Table,
+    /// Whether every paper bound held on every row.
+    pub pass: bool,
+    /// Additional observations.
+    pub notes: Vec<String>,
+}
+
+impl ExpResult {
+    fn new(id: &'static str, title: &str, table: Table, pass: bool, notes: Vec<String>) -> Self {
+        ExpResult {
+            id,
+            title: title.to_string(),
+            table,
+            pass,
+            notes,
+        }
+    }
+}
+
+fn fmt_u(x: u64) -> String {
+    x.to_string()
+}
+
+/// E1 + E2 — Corollaries 4 and 5: pure SDR (over the rule-less
+/// [`Agreement`] input) recovers within `3n` rounds, each process
+/// spending at most `3n + 3` SDR moves.
+pub fn e1_e2_sdr_bounds(p: Profile) -> ExpResult {
+    let mut table = Table::new([
+        "topology", "n", "worst rounds", "3n", "r-ratio", "worst moves/proc", "3n+3",
+    ]);
+    let mut pass = true;
+    for &n in &p.sizes() {
+        for (label, g) in topology_suite(n, 0x5D2 + n as u64) {
+            let nn = g.node_count() as u64;
+            let mut worst_rounds = 0u64;
+            let mut worst_pp = 0u64;
+            for daemon in daemon_suite() {
+                for trial in 0..p.trials() {
+                    let sdr = Sdr::new(Agreement::new(8));
+                    let rc = sdr.rule_count();
+                    let init = sdr.arbitrary_config(&g, trial * 0x9E37 + nn);
+                    let check = Sdr::new(Agreement::new(8));
+                    let mut sim = Simulator::new(&g, sdr, init, daemon.clone(), trial);
+                    let out =
+                        sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
+                    pass &= out.reached;
+                    worst_rounds = worst_rounds.max(out.rounds_at_hit);
+                    let pp = g
+                        .nodes()
+                        .map(|u| {
+                            [RULE_RB, RULE_RF, RULE_C, RULE_R]
+                                .iter()
+                                .map(|&r| sim.stats().moves_of(u, r, rc))
+                                .sum::<u64>()
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    worst_pp = worst_pp.max(pp);
+                }
+            }
+            pass &= worst_rounds <= 3 * nn && worst_pp <= 3 * nn + 3;
+            table.row_vec(vec![
+                label.to_string(),
+                nn.to_string(),
+                fmt_u(worst_rounds),
+                fmt_u(3 * nn),
+                ratio(worst_rounds as f64, 3.0 * nn as f64),
+                fmt_u(worst_pp),
+                fmt_u(3 * nn + 3),
+            ]);
+        }
+    }
+    ExpResult::new(
+        "E1+E2",
+        "SDR recovery ≤ 3n rounds (Cor. 5) and ≤ 3n+3 SDR moves per process (Cor. 4)",
+        table,
+        pass,
+        vec![],
+    )
+}
+
+/// E3 — Theorem 3 / Remark 5 / Corollary 3: alive roots never created,
+/// ≤ n+1 segments, per-segment rule language respected.
+pub fn e3_segments(p: Profile) -> ExpResult {
+    let mut table = Table::new(["topology", "n", "init roots", "segments", "n+1", "violations"]);
+    let mut pass = true;
+    for &n in &p.sizes() {
+        for (label, g) in topology_suite(n, 0xE3 + n as u64) {
+            let nn = g.node_count();
+            let sdr = Sdr::new(Agreement::new(6));
+            let init = sdr.arbitrary_config(&g, 0xE3_000 + n as u64);
+            let roots0 = alive_roots(&sdr, &g, &init).len();
+            let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+            let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, 17);
+            for _ in 0..p.step_cap() {
+                match sim.step() {
+                    StepOutcome::Terminal => break,
+                    StepOutcome::Progress { .. } => tracker.after_step(
+                        sim.algorithm(),
+                        sim.graph(),
+                        sim.states(),
+                        sim.last_activated(),
+                    ),
+                }
+            }
+            let report = tracker.report();
+            pass &= report.ok() && report.segments <= nn as u64 + 1;
+            table.row_vec(vec![
+                label.to_string(),
+                nn.to_string(),
+                roots0.to_string(),
+                report.segments.to_string(),
+                (nn + 1).to_string(),
+                report.violations.len().to_string(),
+            ]);
+        }
+    }
+    ExpResult::new(
+        "E3",
+        "Alive-root monotonicity, ≤ n+1 segments, per-segment rule grammar (Thm 3, Rem 5, Cor 3)",
+        table,
+        pass,
+        vec![],
+    )
+}
+
+/// E4 + E5 — Theorems 6 and 7, with the CFG baseline comparison: the
+/// SDR-based unison stabilizes in ≤ 3n rounds and O(D·n²) moves, and
+/// beats uncoordinated local resets on moves with a widening gap.
+pub fn e4_e5_unison(p: Profile) -> ExpResult {
+    let mut table = Table::new([
+        "topology", "n", "D", "sdr rounds", "3n", "sdr moves", "T6 bound", "cfg moves",
+        "cfg/sdr",
+    ]);
+    let mut pass = true;
+    let mut notes = Vec::new();
+    let mut prev_ratio: Option<(usize, f64)> = None;
+    for &n in &p.sizes() {
+        for (label, g) in topology_suite(n, 0xE45 + n as u64) {
+            let nn = g.node_count() as u64;
+            let d = metrics::diameter(&g).max(1) as u64;
+            let mut sdr_rounds = 0u64;
+            let mut sdr_moves = 0u64;
+            let mut cfg_moves = 0u64;
+            for trial in 0..p.trials() {
+                let seed = trial * 31 + nn;
+                // U ∘ SDR from an arbitrary configuration.
+                let algo = unison_sdr(Unison::for_graph(&g));
+                let init = algo.arbitrary_config(&g, seed);
+                let check = unison_sdr(Unison::for_graph(&g));
+                let mut sim =
+                    Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, trial);
+                let out = sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
+                pass &= out.reached;
+                sdr_rounds = sdr_rounds.max(out.rounds_at_hit);
+                sdr_moves = sdr_moves.max(out.moves_at_hit);
+                // CFG baseline from an arbitrary configuration.
+                let cfg = CfgUnison::for_graph(&g);
+                let k = cfg.period();
+                let cinit = cfg.arbitrary_config(&g, seed);
+                let mut csim =
+                    Simulator::new(&g, cfg, cinit, Daemon::RandomSubset { p: 0.5 }, trial);
+                let cout = csim.run_until(p.step_cap(), |gr, st| spec::safety_holds(gr, st, k));
+                pass &= cout.reached;
+                cfg_moves = cfg_moves.max(cout.moves_at_hit);
+            }
+            let bound = spec::theorem6_move_bound(nn, d);
+            pass &= sdr_rounds <= 3 * nn && sdr_moves <= bound;
+            if label == "ring" {
+                let r = cfg_moves as f64 / sdr_moves.max(1) as f64;
+                if let Some((pn, pr)) = prev_ratio {
+                    notes.push(format!(
+                        "ring: cfg/sdr move ratio grows {pr:.2} (n={pn}) → {r:.2} (n={})",
+                        nn
+                    ));
+                }
+                prev_ratio = Some((nn as usize, r));
+            }
+            table.row_vec(vec![
+                label.to_string(),
+                nn.to_string(),
+                d.to_string(),
+                fmt_u(sdr_rounds),
+                fmt_u(3 * nn),
+                fmt_u(sdr_moves),
+                fmt_u(bound),
+                fmt_u(cfg_moves),
+                ratio(cfg_moves as f64, sdr_moves.max(1) as f64),
+            ]);
+        }
+    }
+    notes.push(
+        "the paper's comparison is on worst-case bounds: U∘SDR is O(D·n²) vs O(D·n³+α·n²) \
+         for the [11]/[20] family; on random (non-worst-case) configurations the specialized \
+         min-repair is cheaper in absolute moves, and the cfg/sdr ratio growing with n is \
+         the measurable signature of its worse asymptotics"
+            .into(),
+    );
+    ExpResult::new(
+        "E4+E5",
+        "U ∘ SDR: ≤ 3n rounds (Thm 7), ≤ (3D+3)n²+(3D+1)(n−1)+1 moves (Thm 6), vs CFG baseline",
+        table,
+        pass,
+        notes,
+    )
+}
+
+/// E6 — the unison specification holds after stabilization (Cor. 7,
+/// Lem. 19): safety at every instant, liveness as minimum increments.
+pub fn e6_unison_spec(p: Profile) -> ExpResult {
+    let mut table = Table::new(["topology", "n", "safety violations", "min increments"]);
+    let mut pass = true;
+    for &n in &p.small_sizes() {
+        for (label, g) in topology_suite(n, 0xE6 + n as u64) {
+            let algo = unison_sdr(Unison::for_graph(&g));
+            let k = algo.input().period();
+            let init = algo.arbitrary_config(&g, 0xE6_00 + n as u64);
+            let check = unison_sdr(Unison::for_graph(&g));
+            let mut sim = Simulator::new(&g, algo, init, Daemon::RoundRobin, 3);
+            let out = sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
+            pass &= out.reached;
+            let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+            let mut monitor = spec::LivenessMonitor::new(&clocks);
+            let mut violations = 0usize;
+            let window = 200 * g.node_count() as u64;
+            for _ in 0..window {
+                sim.step();
+                let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+                violations += spec::safety_violations(&g, &clocks, k);
+                monitor.observe(&clocks);
+            }
+            pass &= violations == 0 && monitor.min_increments() > 0;
+            table.row_vec(vec![
+                label.to_string(),
+                g.node_count().to_string(),
+                violations.to_string(),
+                monitor.min_increments().to_string(),
+            ]);
+        }
+    }
+    ExpResult::new(
+        "E6",
+        "Unison specification after stabilization: zero safety violations, all clocks advance",
+        table,
+        pass,
+        vec![],
+    )
+}
+
+/// E7 — Theorems 9/10, Corollaries 11/12: standalone FGA from γ_init.
+pub fn e7_fga_standalone(p: Profile) -> ExpResult {
+    let mut table = Table::new([
+        "topology", "preset", "n", "rounds", "5n+4", "moves", "C11 bound", "1-minimal",
+    ]);
+    let mut pass = true;
+    for &n in &p.small_sizes() {
+        for (label, g) in topology_suite(n, 0xE7 + n as u64) {
+            let nn = g.node_count() as u64;
+            let m = g.edge_count() as u64;
+            let delta = g.max_degree() as u64;
+            for (preset_label, fga) in presets::all_presets(&g) {
+                let f = fga.f().to_vec();
+                let gg = fga.g().to_vec();
+                let ids = fga.ids().to_vec();
+                let alg = Standalone::new(fga);
+                let init = alg.initial_config(&g);
+                let mut sim =
+                    Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, nn);
+                let out = sim.run_to_termination(p.step_cap());
+                pass &= out.terminal;
+                let rounds = sim.stats().completed_rounds + 1;
+                let moves = sim.stats().moves;
+                let members = verify::members(sim.states().iter());
+                let alliance = verify::is_alliance(&g, &f, &gg, &members);
+                let one_min = verify::is_one_minimal(&g, &f, &gg, &members);
+                let corner_ok =
+                    verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members);
+                pass &= alliance
+                    && corner_ok
+                    && rounds <= verify::corollary12_round_bound(nn)
+                    && moves <= verify::corollary11_move_bound(nn, m, delta);
+                table.row_vec(vec![
+                    label.to_string(),
+                    preset_label.to_string(),
+                    nn.to_string(),
+                    fmt_u(rounds),
+                    fmt_u(verify::corollary12_round_bound(nn)),
+                    fmt_u(moves),
+                    fmt_u(verify::corollary11_move_bound(nn, m, delta)),
+                    if one_min { "yes".into() } else { "corner*".into() },
+                ]);
+            }
+        }
+    }
+    ExpResult::new(
+        "E7",
+        "Standalone FGA from γ_init: ≤ 5n+4 rounds (Cor. 12), ≤ 16Δm+36m+24n moves (Cor. 11)",
+        table,
+        pass,
+        vec!["(*) zero-g-slack corner, see ssr-alliance docs".into()],
+    )
+}
+
+/// E8 (+E12) — Theorems 11–14: FGA ∘ SDR is silent, self-stabilizing,
+/// within the round/move bounds.
+pub fn e8_fga_sdr(p: Profile) -> ExpResult {
+    let mut table = Table::new([
+        "topology", "n", "silent", "rounds", "8n+4", "moves", "T12 bound", "1-minimal",
+    ]);
+    let mut pass = true;
+    for &n in &p.small_sizes() {
+        for (label, g) in topology_suite(n, 0xE8 + n as u64) {
+            let nn = g.node_count() as u64;
+            let m = g.edge_count() as u64;
+            let delta = g.max_degree() as u64;
+            let mut worst_rounds = 0u64;
+            let mut worst_moves = 0u64;
+            let mut all_silent = true;
+            let mut all_one_min = true;
+            for trial in 0..p.trials() {
+                let fga = presets::domination(&g).expect("domination always valid");
+                let f = fga.f().to_vec();
+                let gg = fga.g().to_vec();
+                let algo = fga_sdr(fga);
+                let init = algo.arbitrary_config(&g, trial * 131 + nn);
+                let mut sim = Simulator::new(&g, algo, init, Daemon::Central, trial);
+                let out = sim.run_to_termination(p.step_cap());
+                all_silent &= out.terminal;
+                worst_rounds = worst_rounds.max(sim.stats().completed_rounds + 1);
+                worst_moves = worst_moves.max(sim.stats().moves);
+                let members = verify::members(sim.states().iter().map(|s| &s.inner));
+                all_one_min &= verify::is_one_minimal(&g, &f, &gg, &members);
+            }
+            pass &= all_silent
+                && all_one_min
+                && worst_rounds <= verify::theorem14_round_bound(nn)
+                && worst_moves <= verify::theorem12_move_bound(nn, m, delta);
+            table.row_vec(vec![
+                label.to_string(),
+                nn.to_string(),
+                if all_silent { "yes".into() } else { "NO".into() },
+                fmt_u(worst_rounds),
+                fmt_u(verify::theorem14_round_bound(nn)),
+                fmt_u(worst_moves),
+                fmt_u(verify::theorem12_move_bound(nn, m, delta)),
+                if all_one_min { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    ExpResult::new(
+        "E8+E12",
+        "FGA ∘ SDR (domination): silent, ≤ 8n+4 rounds (Thm 14), ≤ (n+1)(16mΔ+36m+27n) moves (Thm 12)",
+        table,
+        pass,
+        vec![],
+    )
+}
+
+/// E9 — the six classical reductions of §6.1, verified against their
+/// own definitions.
+pub fn e9_presets(p: Profile) -> ExpResult {
+    let n = match p {
+        Profile::Quick => 9,
+        Profile::Full => 16,
+    };
+    let side = (n as f64).sqrt().round() as usize;
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("torus", ssr_graph::generators::torus(side.max(3), side.max(3))),
+        ("complete", ssr_graph::generators::complete(n)),
+        ("rand", ssr_graph::generators::random_connected(n, 2 * n, 0xE9)),
+    ];
+    let mut table = Table::new(["graph", "preset", "|A|", "classical ok", "1-minimal"]);
+    let mut pass = true;
+    for (glabel, g) in &graphs {
+        for (label, fga) in presets::all_presets(g) {
+            let f = fga.f().to_vec();
+            let gg = fga.g().to_vec();
+            let ids = fga.ids().to_vec();
+            let algo = fga_sdr(fga);
+            let init = algo.arbitrary_config(g, 0xE90 + n as u64);
+            let mut sim = Simulator::new(g, algo, init, Daemon::Central, 9);
+            let out = sim.run_to_termination(p.step_cap());
+            pass &= out.terminal;
+            let members = verify::members(sim.states().iter().map(|s| &s.inner));
+            let classical = match label {
+                "domination(1,0)" => verify::is_dominating_set(g, &members),
+                "2-domination(2,0)" => verify::is_k_dominating_set(g, &members, 2),
+                "2-tuple(2,1)" => verify::is_k_tuple_dominating_set(g, &members, 2),
+                "offensive" => verify::is_global_offensive_alliance(g, &members),
+                "defensive" => verify::is_global_defensive_alliance(g, &members),
+                "powerful" => verify::is_global_powerful_alliance(g, &members),
+                _ => false,
+            };
+            let one_min = verify::is_one_minimal(g, &f, &gg, &members);
+            pass &= classical && verify::gap_explained_by_gslack_corner(g, &f, &gg, &ids, &members);
+            table.row_vec(vec![
+                glabel.to_string(),
+                label.to_string(),
+                members.iter().filter(|&&b| b).count().to_string(),
+                if classical { "yes".into() } else { "NO".into() },
+                if one_min { "yes".into() } else { "corner*".into() },
+            ]);
+        }
+    }
+    ExpResult::new(
+        "E9",
+        "(f,g)-alliance reductions (§6.1 items 1–6) verified against the classical definitions",
+        table,
+        pass,
+        vec!["(*) zero-g-slack corner, see ssr-alliance docs".into()],
+    )
+}
+
+/// E10 — the cooperation ablation: coordinated resets (`U ∘ SDR`) vs
+/// uncoordinated local resets (CFG) on tear workloads.
+pub fn e10_ablation(p: Profile) -> ExpResult {
+    let mut table = Table::new([
+        "topology", "n", "gap", "sdr moves", "cfg moves", "sdr rounds", "cfg rounds", "winner",
+    ]);
+    let mut pass = true;
+    for &n in &p.sizes() {
+        for (label, g) in [
+            ("ring", ssr_graph::generators::ring(n.max(3))),
+            ("path", ssr_graph::generators::path(n)),
+        ] {
+            for gap in [3u64, (n as u64) / 2] {
+                // SDR side: its paper bounds must hold (this is the
+                // `pass` criterion).
+                let d = metrics::diameter(&g).max(1) as u64;
+                let nn = g.node_count() as u64;
+                let algo = unison_sdr(Unison::for_graph(&g));
+                let k_sdr = algo.input().period();
+                let init = unison_tear(&g, k_sdr, gap);
+                let check = unison_sdr(Unison::for_graph(&g));
+                let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 5);
+                let out = sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
+                pass &= out.reached
+                    && out.rounds_at_hit <= 3 * nn
+                    && out.moves_at_hit <= spec::theorem6_move_bound(nn, d);
+                // CFG side: the baseline has no such guarantee — on
+                // cycles its reset waves chase each other, and blowing
+                // the step cap is a *finding*, not a failure.
+                let cfg = CfgUnison::for_graph(&g);
+                let k_cfg = cfg.period();
+                let cinit = unison_tear_plain(&g, k_cfg, gap);
+                let mut csim = Simulator::new(&g, cfg, cinit, Daemon::Central, 5);
+                // Separate, smaller cap: the baseline can burn 5+ orders
+                // of magnitude more moves than SDR here.
+                let baseline_cap = match p {
+                    Profile::Quick => 2_000_000,
+                    Profile::Full => 60_000_000,
+                };
+                let cout = csim.run_until(baseline_cap, |gr, st| spec::safety_holds(gr, st, k_cfg));
+                let (cfg_moves, cfg_rounds) = if cout.reached {
+                    (fmt_u(cout.moves_at_hit), fmt_u(cout.rounds_at_hit))
+                } else {
+                    (format!(">{baseline_cap}"), "—".to_string())
+                };
+                let winner = if !cout.reached || out.moves_at_hit <= cout.moves_at_hit {
+                    "sdr"
+                } else {
+                    "cfg"
+                };
+                table.row_vec(vec![
+                    label.to_string(),
+                    g.node_count().to_string(),
+                    gap.to_string(),
+                    fmt_u(out.moves_at_hit),
+                    cfg_moves,
+                    fmt_u(out.rounds_at_hit),
+                    cfg_rounds,
+                    winner.to_string(),
+                ]);
+            }
+        }
+    }
+    ExpResult::new(
+        "E10",
+        "Ablation: cooperative resets vs uncoordinated local resets on clock-tear workloads",
+        table,
+        pass,
+        vec![
+            "on acyclic topologies a single benign tear favors the problem-specialized local \
+             repair (reset-to-0) by a constant factor; on CYCLES the uncoordinated waves chase \
+             each other around the ring (the very pathology §1 motivates cooperation with): \
+             at n=32 the ring crossover is ~5 orders of magnitude in moves, and at n=64 the \
+             baseline exhausts the step cap while U∘SDR stays within its 3n-round bound"
+                .into(),
+        ],
+    )
+}
+
+/// E11 — transient-fault recovery: corrupt `k` clocks of a legitimate
+/// system, measure recovery; three-way comparison SDR / CFG / mono-
+/// initiator reset.
+pub fn e11_faults(p: Profile) -> ExpResult {
+    let n = match p {
+        Profile::Quick => 12,
+        Profile::Full => 32,
+    };
+    let g = ssr_graph::generators::ring(n);
+    let ks = [1usize, 2, n / 4, n / 2, n];
+    let mut table = Table::new([
+        "k faults", "sdr rounds", "sdr moves", "cfg rounds", "cfg moves", "mono rounds",
+        "mono moves",
+    ]);
+    let mut pass = true;
+    for &k in &ks {
+        // --- U ∘ SDR ---
+        let algo = unison_sdr(Unison::for_graph(&g));
+        let period = algo.input().period();
+        let check = unison_sdr(Unison::for_graph(&g));
+        let init = algo.initial_config(&g);
+        let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 1);
+        for _ in 0..10 * n as u64 {
+            sim.step(); // let the healthy system run a little first
+        }
+        let mut rng = Xoshiro256StarStar::seed_from_u64(k as u64 + 7);
+        for u in pick_victims(&g, k, &mut rng) {
+            let mut s = *sim.state(u);
+            s.inner = rng.below(period); // clock-only corruption
+            sim.inject(u, s);
+        }
+        sim.reset_stats();
+        let out = sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
+        pass &= out.reached;
+        // --- CFG ---
+        let cfg = CfgUnison::for_graph(&g);
+        let k_cfg = cfg.period();
+        let mut csim = Simulator::new(&g, cfg, vec![0; n], Daemon::RandomSubset { p: 0.5 }, 1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(k as u64 + 7);
+        ssr_runtime::faults::corrupt_random(&mut csim, k, &mut rng, |_, r| r.below(k_cfg));
+        csim.reset_stats();
+        let cout = csim.run_until(p.step_cap(), |gr, st| spec::safety_holds(gr, st, k_cfg));
+        pass &= cout.reached;
+        // --- Mono-initiator reset over U ---
+        let mono = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
+        let mcheck = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
+        let minit = mono.initial_config(&g);
+        let mut msim = Simulator::new(&g, mono, minit, Daemon::RandomSubset { p: 0.5 }, 1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(k as u64 + 7);
+        ssr_runtime::faults::corrupt_random(&mut msim, k, &mut rng, |_, r| MonoState {
+            phase: Phase::Idle,
+            inner: r.below(period),
+        });
+        msim.reset_stats();
+        let mout = msim.run_until(p.step_cap(), |gr, st| mcheck.is_normal_config(gr, st));
+        pass &= mout.reached;
+        table.row_vec(vec![
+            k.to_string(),
+            fmt_u(out.rounds_at_hit),
+            fmt_u(out.moves_at_hit),
+            fmt_u(cout.rounds_at_hit),
+            fmt_u(cout.moves_at_hit),
+            fmt_u(mout.rounds_at_hit),
+            fmt_u(mout.moves_at_hit),
+        ]);
+    }
+    ExpResult::new(
+        "E11",
+        "Recovery from k corrupted clocks on a legitimate ring: SDR vs CFG vs mono-initiator",
+        table,
+        pass,
+        vec![format!("ring n = {n}; clock-only corruption, seeds fixed")],
+    )
+}
+
+/// Samples `k` distinct victims (shared by the three systems so they
+/// face the same fault pattern).
+fn pick_victims(g: &Graph, k: usize, rng: &mut Xoshiro256StarStar) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = g.nodes().collect();
+    for i in 0..k {
+        let j = i + rng.index(ids.len() - i);
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids
+}
+
+/// Runs every experiment.
+pub fn all(p: Profile) -> Vec<ExpResult> {
+    vec![
+        e1_e2_sdr_bounds(p),
+        e3_segments(p),
+        e4_e5_unison(p),
+        e6_unison_spec(p),
+        e7_fga_standalone(p),
+        e8_fga_sdr(p),
+        e9_presets(p),
+        e10_ablation(p),
+        e11_faults(p),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_e2_quick_pass() {
+        let r = e1_e2_sdr_bounds(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e3_quick_pass() {
+        let r = e3_segments(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e4_e5_quick_pass() {
+        let r = e4_e5_unison(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e6_quick_pass() {
+        let r = e6_unison_spec(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e7_quick_pass() {
+        let r = e7_fga_standalone(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e8_quick_pass() {
+        let r = e8_fga_sdr(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e9_quick_pass() {
+        let r = e9_presets(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e10_quick_pass() {
+        let r = e10_ablation(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn e11_quick_pass() {
+        let r = e11_faults(Profile::Quick);
+        assert!(r.pass, "{}", r.table);
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the SDR reproduction.
+//!
+//! Every proven bound / comparison in the paper maps to one experiment
+//! (E1–E12, see DESIGN.md §3). The [`experiments`] module computes each
+//! table; the `experiments` binary prints them (this is what
+//! EXPERIMENTS.md records), and the criterion benches in `benches/`
+//! measure wall-clock time of the same workloads.
+//!
+//! All experiments are deterministic given their seeds and run in two
+//! profiles: `quick` (small sizes, used by `cargo test`) and full
+//! (`cargo run -p ssr-bench --bin experiments --release`).
+
+pub mod experiments;
+pub mod workloads;
+
+pub use experiments::{ExpResult, Profile};

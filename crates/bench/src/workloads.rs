@@ -1,0 +1,139 @@
+//! Workload generators shared by the experiments and benches.
+
+use ssr_core::{Composed, SdrState, Status};
+use ssr_graph::{generators, Graph};
+use ssr_runtime::Daemon;
+
+/// Topology families swept by the experiments (label, builder).
+pub fn topology_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut out = vec![
+        ("ring", generators::ring(n.max(3))),
+        ("path", generators::path(n)),
+        ("star", generators::star(n.max(2))),
+        ("rand-tree", generators::random_tree(n, seed)),
+        ("rand-sparse", generators::random_connected(n, n / 2, seed)),
+    ];
+    let side = ((n as f64).sqrt().round() as usize).max(2);
+    out.push(("grid", generators::grid(side, side)));
+    out
+}
+
+/// The daemon strategies exercised by the sweeps.
+pub fn daemon_suite() -> Vec<Daemon> {
+    vec![
+        Daemon::Synchronous,
+        Daemon::Central,
+        Daemon::RandomSubset { p: 0.5 },
+        Daemon::PreferHighRules,
+        Daemon::LexMin,
+    ]
+}
+
+/// A "clock tear" workload for unison: a maximal legal gradient with a
+/// discontinuity of `gap` in the middle — the classic locally-checkable
+/// inconsistency (all reset variables clean).
+pub fn unison_tear(graph: &Graph, period: u64, gap: u64) -> Vec<Composed<u64>> {
+    let n = graph.node_count();
+    graph
+        .nodes()
+        .map(|u| {
+            let i = u.index();
+            let clock = if i < n / 2 {
+                (i as u64) % period
+            } else {
+                (i as u64 + gap) % period
+            };
+            Composed::new(SdrState::new(Status::C, 0), clock)
+        })
+        .collect()
+}
+
+/// Plain clock vector version of [`unison_tear`] (for the CFG baseline,
+/// which has no reset variables).
+pub fn unison_tear_plain(graph: &Graph, period: u64, gap: u64) -> Vec<u64> {
+    unison_tear(graph, period, gap)
+        .into_iter()
+        .map(|c| c.inner)
+        .collect()
+}
+
+/// A hand-crafted near-worst-case SDR configuration: one long reset
+/// branch in mid-broadcast — node `i` has status `RB` with distance `i`
+/// (a maximal-depth chain per Lemma 7), the far end already in
+/// feedback, and stale inner values everywhere.
+///
+/// Feedback must climb the whole chain before the completion wave walks
+/// back down, which is the mechanism behind the `3n`-round bound.
+pub fn sdr_broadcast_chain<I: ssr_core::ResetInput>(
+    sdr: &ssr_core::Sdr<I>,
+    graph: &Graph,
+) -> Vec<Composed<I::State>> {
+    let n = graph.node_count();
+    graph
+        .nodes()
+        .map(|u| {
+            let i = u.index();
+            let status = if i + 1 == n { Status::RF } else { Status::RB };
+            Composed::new(
+                SdrState::new(status, i as u32),
+                sdr.input().reset_state(u),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{toys::Agreement, Sdr};
+    use ssr_runtime::Simulator;
+
+    #[test]
+    fn suite_labels_unique() {
+        let suite = topology_suite(12, 1);
+        let mut labels: Vec<_> = suite.iter().map(|(l, _)| *l).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), suite.len());
+    }
+
+    #[test]
+    fn tear_has_discontinuity() {
+        let g = generators::path(8);
+        let states = unison_tear(&g, 9, 4);
+        // Left half is a unit gradient; the middle edge jumps by 4.
+        assert_eq!(states[3].inner, 3);
+        assert_eq!(states[4].inner, 8);
+        let plain = unison_tear_plain(&g, 9, 4);
+        assert_eq!(plain[4], 8);
+    }
+
+    #[test]
+    fn daemon_suite_includes_adversaries() {
+        assert!(daemon_suite().len() >= 5);
+    }
+
+    #[test]
+    fn broadcast_chain_is_valid_and_recovers_in_bound() {
+        let n = 14usize;
+        let g = generators::path(n);
+        let sdr = Sdr::new(Agreement::new(3));
+        let init = sdr_broadcast_chain(&sdr, &g);
+        assert_eq!(init[0].sdr.status, Status::RB);
+        assert_eq!(init[n - 1].sdr.status, Status::RF);
+        assert_eq!(init[n - 1].sdr.dist, (n - 1) as u32);
+        let check = Sdr::new(Agreement::new(3));
+        // The chain forces a full feedback climb + completion descent —
+        // close to the 3n worst case, but never beyond it, under the
+        // slowest (central) schedule.
+        let mut sim = Simulator::new(&g, sdr, init, Daemon::Central, 7);
+        let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+        assert!(out.reached);
+        assert!(out.rounds_at_hit <= 3 * n as u64, "Corollary 5 violated");
+        assert!(
+            out.rounds_at_hit >= n as u64,
+            "the chain should cost at least one full traversal ({} rounds)",
+            out.rounds_at_hit
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! SDR per-process state (§3.2): the status `st_u ∈ {C, RB, RF}` and the
+//! reset distance `d_u ∈ ℕ`, plus the product state of a composition.
+
+use std::fmt;
+
+/// The reset status of a process (variable `st_u`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Status {
+    /// `C` — correct: not currently involved in a reset.
+    #[default]
+    C,
+    /// `RB` — reset broadcast: propagating a reset down the DAG.
+    RB,
+    /// `RF` — reset feedback: reset acknowledged, propagating back up.
+    RF,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::C => write!(f, "C"),
+            Status::RB => write!(f, "RB"),
+            Status::RF => write!(f, "RF"),
+        }
+    }
+}
+
+/// SDR's two variables for one process.
+///
+/// `dist` is meaningless while `status == C` (§3.2); the paper leaves it
+/// arbitrary, and so do we — predicates never read it in that case.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_core::{SdrState, Status};
+/// let clean = SdrState::clean();
+/// assert_eq!(clean.status, Status::C);
+/// let root = SdrState::root();
+/// assert_eq!((root.status, root.dist), (Status::RB, 0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SdrState {
+    /// Status `st_u`.
+    pub status: Status,
+    /// Distance `d_u` within the reset DAG.
+    pub dist: u32,
+}
+
+impl SdrState {
+    /// State of a process not involved in any reset (`st = C`).
+    pub fn clean() -> Self {
+        SdrState {
+            status: Status::C,
+            dist: 0,
+        }
+    }
+
+    /// State right after `beRoot(u)`: `(RB, 0)`.
+    pub fn root() -> Self {
+        SdrState {
+            status: Status::RB,
+            dist: 0,
+        }
+    }
+
+    /// Arbitrary state constructor (used by adversarial samplers).
+    pub fn new(status: Status, dist: u32) -> Self {
+        SdrState { status, dist }
+    }
+}
+
+impl fmt::Display for SdrState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.status {
+            Status::C => write!(f, "C"),
+            s => write!(f, "{s}:{}", self.dist),
+        }
+    }
+}
+
+/// Product state of the composition `I ∘ SDR` (§2.5): the union of the
+/// variables of both algorithms at one process.
+///
+/// Requirement 1 (`I` never writes SDR's variables) is enforced
+/// structurally: the composed algorithm only ever passes the `inner`
+/// component to the input algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Composed<S> {
+    /// SDR's variables (`st_u`, `d_u`).
+    pub sdr: SdrState,
+    /// The input algorithm's variables.
+    pub inner: S,
+}
+
+impl<S> Composed<S> {
+    /// Pairs a clean SDR state with an inner state.
+    pub fn clean(inner: S) -> Self {
+        Composed {
+            sdr: SdrState::clean(),
+            inner,
+        }
+    }
+
+    /// Pairs an explicit SDR state with an inner state.
+    pub fn new(sdr: SdrState, inner: S) -> Self {
+        Composed { sdr, inner }
+    }
+}
+
+impl<S: fmt::Display> fmt::Display for Composed<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}|{}⟩", self.sdr, self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        assert_eq!(SdrState::default(), SdrState::clean());
+        assert_eq!(Status::default(), Status::C);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SdrState::clean().to_string(), "C");
+        assert_eq!(SdrState::new(Status::RB, 3).to_string(), "RB:3");
+        assert_eq!(SdrState::new(Status::RF, 1).to_string(), "RF:1");
+        assert_eq!(Composed::clean(7u8).to_string(), "⟨C|7⟩");
+    }
+
+    #[test]
+    fn root_constructor() {
+        let r = SdrState::root();
+        assert_eq!(r, SdrState::new(Status::RB, 0));
+    }
+
+    #[test]
+    fn composed_accessors() {
+        let c = Composed::new(SdrState::root(), "x");
+        assert_eq!(c.sdr.status, Status::RB);
+        assert_eq!(c.inner, "x");
+    }
+}

@@ -1,0 +1,249 @@
+//! Small, fully-specified input algorithms for exercising SDR on its
+//! own (experiments E1–E3) and for tests.
+//!
+//! Both toys satisfy Requirements 1, 2a–2e of §3.5 (see the argument in
+//! each type's documentation, and [`crate::validate`] for runtime
+//! checks).
+
+use ssr_graph::NodeId;
+use ssr_runtime::rng::Xoshiro256StarStar;
+use ssr_runtime::{RuleId, RuleMask, StateView};
+
+use crate::input::ResetInput;
+
+/// Local agreement with **no rules**: a pure detection substrate.
+///
+/// Each process holds `x ∈ {0, …, domain−1}`; `P_ICorrect(u)` demands
+/// all neighbors agree with `u`. Since there are no rules, composing
+/// with SDR yields *pure reset dynamics*: disagreement triggers
+/// cooperative resets that drive every participant to the reset value
+/// `0`, after which the system is silent. Used by experiments E1/E2 to
+/// measure SDR's own bounds without input-algorithm noise.
+///
+/// Requirements: 2a holds vacuously (no rules); 2b/2e by construction
+/// (`P_reset ≡ x = 0 = reset value`); 2d holds because all-zero closed
+/// neighborhoods agree.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_core::{toys::Agreement, ResetInput};
+/// use ssr_graph::NodeId;
+///
+/// let a = Agreement::new(4);
+/// assert_eq!(a.rule_count(), 0);
+/// assert!(a.p_reset(NodeId(0), &0));
+/// assert!(!a.p_reset(NodeId(0), &3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Agreement {
+    domain: u32,
+}
+
+impl Agreement {
+    /// Agreement over values `0..domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u32) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Agreement { domain }
+    }
+}
+
+impl ResetInput for Agreement {
+    type State = u32;
+
+    fn rule_count(&self) -> usize {
+        0
+    }
+
+    fn rule_name(&self, _: RuleId) -> &'static str {
+        unreachable!("Agreement has no rules")
+    }
+
+    fn enabled_mask<V: StateView<u32>>(&self, _: NodeId, _: &V) -> RuleMask {
+        RuleMask::NONE
+    }
+
+    fn apply<V: StateView<u32>>(&self, _: NodeId, _: &V, _: RuleId) -> u32 {
+        unreachable!("Agreement has no rules")
+    }
+
+    fn p_icorrect<V: StateView<u32>>(&self, u: NodeId, view: &V) -> bool {
+        let x = *view.state(u);
+        view.graph().neighbors(u).iter().all(|&v| *view.state(v) == x)
+    }
+
+    fn p_reset(&self, _: NodeId, state: &u32) -> bool {
+        *state == 0
+    }
+
+    fn reset_state(&self, _: NodeId) -> u32 {
+        0
+    }
+
+    fn arbitrary_state(&self, _: NodeId, rng: &mut Xoshiro256StarStar) -> u32 {
+        rng.below(self.domain as u64) as u32
+    }
+}
+
+/// `rule_inc` of [`BoundedCounter`].
+pub const RULE_INC: RuleId = RuleId(0);
+
+/// A *bounded, non-wrapping* unison: counters climb to a cap in
+/// lockstep.
+///
+/// Each process holds `x ∈ {0, …, cap}` and increments while it is a
+/// local minimum (`∀v: x_v ∈ {x_u, x_u+1}`) below the cap. This is
+/// Algorithm U (§5.4) without the modulo — which makes executions
+/// finite, convenient for termination-style tests — and with the same
+/// requirement proofs:
+///
+/// * 2a: only local minima increment, so `|x_u − x_v| ≤ 1` is closed;
+/// * 2b/2e: `P_reset ≡ x = 0`, the reset value;
+/// * 2d: an all-zero closed neighborhood satisfies `P_ICorrect`.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_core::{toys::BoundedCounter, Sdr};
+/// use ssr_graph::generators;
+///
+/// let g = generators::path(3);
+/// let sdr = Sdr::new(BoundedCounter::new(5));
+/// let init = sdr.initial_config(&g);
+/// assert!(sdr.is_normal_config(&g, &init));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedCounter {
+    cap: u32,
+}
+
+impl BoundedCounter {
+    /// Counters over `0..=cap`.
+    pub fn new(cap: u32) -> Self {
+        BoundedCounter { cap }
+    }
+
+    /// The counter cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+}
+
+impl ResetInput for BoundedCounter {
+    type State = u32;
+
+    fn rule_count(&self) -> usize {
+        1
+    }
+
+    fn rule_name(&self, _: RuleId) -> &'static str {
+        "rule_inc"
+    }
+
+    fn enabled_mask<V: StateView<u32>>(&self, u: NodeId, view: &V) -> RuleMask {
+        let x = *view.state(u);
+        let local_min = view
+            .graph()
+            .neighbors(u)
+            .iter()
+            .all(|&v| *view.state(v) == x || *view.state(v) == x + 1);
+        RuleMask::from_bool(x < self.cap && local_min)
+    }
+
+    fn apply<V: StateView<u32>>(&self, u: NodeId, view: &V, _: RuleId) -> u32 {
+        *view.state(u) + 1
+    }
+
+    fn p_icorrect<V: StateView<u32>>(&self, u: NodeId, view: &V) -> bool {
+        let x = *view.state(u);
+        view.graph()
+            .neighbors(u)
+            .iter()
+            .all(|&v| view.state(v).abs_diff(x) <= 1)
+    }
+
+    fn p_reset(&self, _: NodeId, state: &u32) -> bool {
+        *state == 0
+    }
+
+    fn reset_state(&self, _: NodeId) -> u32 {
+        0
+    }
+
+    fn arbitrary_state(&self, _: NodeId, rng: &mut Xoshiro256StarStar) -> u32 {
+        rng.below(self.cap as u64 + 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+    use ssr_runtime::ConfigView;
+
+    #[test]
+    fn agreement_icorrect_is_local_equality() {
+        let g = generators::path(3);
+        let a = Agreement::new(5);
+        let states = vec![1u32, 1, 2];
+        let v = ConfigView::new(&g, &states);
+        assert!(a.p_icorrect(NodeId(0), &v));
+        assert!(!a.p_icorrect(NodeId(1), &v));
+        assert!(!a.p_icorrect(NodeId(2), &v));
+    }
+
+    #[test]
+    fn agreement_arbitrary_stays_in_domain() {
+        let a = Agreement::new(3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(a.arbitrary_state(NodeId(0), &mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn counter_increments_only_local_minima() {
+        let g = generators::path(3);
+        let c = BoundedCounter::new(10);
+        let states = vec![2u32, 2, 3];
+        let v = ConfigView::new(&g, &states);
+        // Node 2 (x=3) is not a local minimum: neighbor holds 2 ∉ {3, 4}.
+        assert!(c.enabled_mask(NodeId(2), &v).is_empty());
+        assert!(!c.enabled_mask(NodeId(0), &v).is_empty());
+        assert!(!c.enabled_mask(NodeId(1), &v).is_empty());
+        assert_eq!(c.apply(NodeId(0), &v, RULE_INC), 3);
+    }
+
+    #[test]
+    fn counter_stops_at_cap() {
+        let g = generators::path(2);
+        let c = BoundedCounter::new(2);
+        let states = vec![2u32, 2];
+        let v = ConfigView::new(&g, &states);
+        assert!(c.enabled_mask(NodeId(0), &v).is_empty());
+        assert!(c.enabled_mask(NodeId(1), &v).is_empty());
+    }
+
+    #[test]
+    fn counter_icorrect_tolerates_unit_gap() {
+        let g = generators::path(2);
+        let c = BoundedCounter::new(9);
+        let v1 = vec![4u32, 5];
+        let view = ConfigView::new(&g, &v1);
+        assert!(c.p_icorrect(NodeId(0), &view));
+        let v2 = vec![4u32, 6];
+        let view = ConfigView::new(&g, &v2);
+        assert!(!c.p_icorrect(NodeId(0), &view));
+    }
+
+    #[test]
+    fn requirements_hold_for_both_toys() {
+        let g = generators::random_connected(10, 5, 1);
+        crate::validate::check_requirements(&Agreement::new(4), &g).unwrap();
+        crate::validate::check_requirements(&BoundedCounter::new(7), &g).unwrap();
+    }
+}

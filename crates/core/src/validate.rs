@@ -1,0 +1,276 @@
+//! Runtime checks of the paper's Requirements on input algorithms
+//! (§3.5).
+//!
+//! Requirements 1, 2b and 2c are structural in this implementation
+//! (types prevent violating them). Requirements 2d and 2e are semantic:
+//! [`check_requirements`] verifies them on a concrete graph.
+//! Requirement 2a (closure of `P_ICorrect` under `I`) is a temporal
+//! property; [`check_icorrect_closed_on_run`] probes it along a random
+//! standalone execution — used by the property-test suites of the
+//! instantiation crates.
+
+use std::error::Error;
+use std::fmt;
+
+use ssr_graph::Graph;
+use ssr_runtime::rng::Xoshiro256StarStar;
+use ssr_runtime::{ConfigView, Daemon, NodeId, Simulator, StepOutcome};
+
+use crate::input::{ResetInput, Standalone};
+
+/// A violated requirement, reported by the checkers in this module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequirementError {
+    /// Requirement 2e: `reset(u)` did not establish `P_reset(u)`.
+    ResetStateNotPReset {
+        /// The offending process.
+        node: NodeId,
+    },
+    /// Requirement 2d: with `P_reset` everywhere in `N[u]`,
+    /// `P_ICorrect(u)` still failed.
+    ResetNeighborhoodNotICorrect {
+        /// The offending process.
+        node: NodeId,
+    },
+    /// Requirement 2a probe: a step of `I` falsified `P_ICorrect(u)`.
+    ICorrectNotClosed {
+        /// The offending process.
+        node: NodeId,
+        /// Step index at which closure failed.
+        step: u64,
+    },
+}
+
+impl fmt::Display for RequirementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequirementError::ResetStateNotPReset { node } => {
+                write!(f, "requirement 2e: reset state of {node:?} does not satisfy P_reset")
+            }
+            RequirementError::ResetNeighborhoodNotICorrect { node } => write!(
+                f,
+                "requirement 2d: all-reset closed neighborhood of {node:?} is not P_ICorrect"
+            ),
+            RequirementError::ICorrectNotClosed { node, step } => write!(
+                f,
+                "requirement 2a: P_ICorrect({node:?}) falsified by an input step (step {step})"
+            ),
+        }
+    }
+}
+
+impl Error for RequirementError {}
+
+/// Checks Requirements 2d and 2e of §3.5 on `graph`.
+///
+/// # Errors
+///
+/// Returns the first violated requirement.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_core::{toys::BoundedCounter, validate};
+/// use ssr_graph::generators;
+///
+/// let g = generators::ring(6);
+/// validate::check_requirements(&BoundedCounter::new(5), &g)?;
+/// # Ok::<(), ssr_core::validate::RequirementError>(())
+/// ```
+pub fn check_requirements<I: ResetInput>(input: &I, graph: &Graph) -> Result<(), RequirementError> {
+    // Requirement 2e: the state installed by reset(u) satisfies P_reset.
+    for u in graph.nodes() {
+        if !input.p_reset(u, &input.reset_state(u)) {
+            return Err(RequirementError::ResetStateNotPReset { node: u });
+        }
+    }
+    // Requirement 2d: if P_reset holds on all of N[u], P_ICorrect(u)
+    // holds. With constant reset states it suffices to check the
+    // all-reset configuration.
+    let all_reset: Vec<I::State> = graph.nodes().map(|u| input.reset_state(u)).collect();
+    let view = ConfigView::new(graph, &all_reset);
+    for u in graph.nodes() {
+        if !input.p_icorrect(u, &view) {
+            return Err(RequirementError::ResetNeighborhoodNotICorrect { node: u });
+        }
+    }
+    Ok(())
+}
+
+/// Probes Requirement 2a (closure of `P_ICorrect` by `I`) along one
+/// standalone execution of up to `max_steps` steps from `init`.
+///
+/// After every step, any process whose `P_ICorrect` held before the
+/// step must still satisfy it.
+///
+/// # Errors
+///
+/// Returns [`RequirementError::ICorrectNotClosed`] at the first
+/// violation.
+pub fn check_icorrect_closed_on_run<I: ResetInput + Clone>(
+    input: &I,
+    graph: &Graph,
+    init: Vec<I::State>,
+    daemon: Daemon,
+    seed: u64,
+    max_steps: u64,
+) -> Result<(), RequirementError> {
+    let standalone = Standalone::new(input.clone());
+    let mut sim = Simulator::new(graph, standalone, init, daemon, seed);
+    let holding = |sim: &Simulator<'_, Standalone<I>>| -> Vec<bool> {
+        let view = sim.view();
+        graph
+            .nodes()
+            .map(|u| input.p_icorrect(u, &view))
+            .collect()
+    };
+    let mut before = holding(&sim);
+    for step in 0..max_steps {
+        match sim.step() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => {
+                let after = holding(&sim);
+                for u in graph.nodes() {
+                    if before[u.index()] && !after[u.index()] {
+                        return Err(RequirementError::ICorrectNotClosed { node: u, step });
+                    }
+                }
+                before = after;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Generates a random standalone configuration from
+/// [`ResetInput::arbitrary_state`] (workload helper for the closure
+/// probe and the experiment harness).
+pub fn arbitrary_standalone_config<I: ResetInput>(
+    input: &I,
+    graph: &Graph,
+    seed: u64,
+) -> Vec<I::State> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    graph
+        .nodes()
+        .map(|u| input.arbitrary_state(u, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toys::{Agreement, BoundedCounter};
+    use ssr_graph::generators;
+    use ssr_runtime::{RuleId, RuleMask, StateView};
+
+    #[test]
+    fn toys_pass_static_requirements() {
+        let g = generators::grid(3, 3);
+        check_requirements(&Agreement::new(4), &g).unwrap();
+        check_requirements(&BoundedCounter::new(3), &g).unwrap();
+    }
+
+    #[test]
+    fn icorrect_closure_probe_passes_for_counter() {
+        let g = generators::random_connected(12, 6, 5);
+        let input = BoundedCounter::new(9);
+        for seed in 0..5 {
+            let init = arbitrary_standalone_config(&input, &g, seed);
+            check_icorrect_closed_on_run(
+                &input,
+                &g,
+                init,
+                Daemon::RandomSubset { p: 0.6 },
+                seed,
+                5_000,
+            )
+            .unwrap();
+        }
+    }
+
+    /// An intentionally broken input: reset state violates `P_reset`.
+    #[derive(Clone, Debug)]
+    struct BrokenReset;
+
+    impl ResetInput for BrokenReset {
+        type State = u32;
+        fn rule_count(&self) -> usize {
+            0
+        }
+        fn rule_name(&self, _: RuleId) -> &'static str {
+            unreachable!()
+        }
+        fn enabled_mask<V: StateView<u32>>(&self, _: NodeId, _: &V) -> RuleMask {
+            RuleMask::NONE
+        }
+        fn apply<V: StateView<u32>>(&self, _: NodeId, _: &V, _: RuleId) -> u32 {
+            unreachable!()
+        }
+        fn p_icorrect<V: StateView<u32>>(&self, _: NodeId, _: &V) -> bool {
+            true
+        }
+        fn p_reset(&self, _: NodeId, state: &u32) -> bool {
+            *state == 0
+        }
+        fn reset_state(&self, _: NodeId) -> u32 {
+            1 // violates 2e
+        }
+    }
+
+    #[test]
+    fn broken_reset_detected() {
+        let g = generators::path(2);
+        let err = check_requirements(&BrokenReset, &g).unwrap_err();
+        assert!(matches!(err, RequirementError::ResetStateNotPReset { .. }));
+        assert!(err.to_string().contains("requirement 2e"));
+    }
+
+    /// An intentionally broken input: all-reset neighborhood is judged
+    /// incorrect (violates 2d).
+    #[derive(Clone, Debug)]
+    struct BrokenICorrect;
+
+    impl ResetInput for BrokenICorrect {
+        type State = u32;
+        fn rule_count(&self) -> usize {
+            0
+        }
+        fn rule_name(&self, _: RuleId) -> &'static str {
+            unreachable!()
+        }
+        fn enabled_mask<V: StateView<u32>>(&self, _: NodeId, _: &V) -> RuleMask {
+            RuleMask::NONE
+        }
+        fn apply<V: StateView<u32>>(&self, _: NodeId, _: &V, _: RuleId) -> u32 {
+            unreachable!()
+        }
+        fn p_icorrect<V: StateView<u32>>(&self, _: NodeId, _: &V) -> bool {
+            false
+        }
+        fn p_reset(&self, _: NodeId, state: &u32) -> bool {
+            *state == 0
+        }
+        fn reset_state(&self, _: NodeId) -> u32 {
+            0
+        }
+    }
+
+    #[test]
+    fn broken_icorrect_detected() {
+        let g = generators::path(2);
+        let err = check_requirements(&BrokenICorrect, &g).unwrap_err();
+        assert!(matches!(
+            err,
+            RequirementError::ResetNeighborhoodNotICorrect { .. }
+        ));
+    }
+
+    #[test]
+    fn arbitrary_config_respects_domain() {
+        let g = generators::ring(8);
+        let input = BoundedCounter::new(4);
+        let cfg = arbitrary_standalone_config(&input, &g, 9);
+        assert!(cfg.iter().all(|&x| x <= 4));
+    }
+}

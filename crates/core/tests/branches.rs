@@ -1,0 +1,122 @@
+//! Structural properties of reset branches (Definitions 4–5, Lemmas 7–8)
+//! checked along live executions.
+
+use ssr_core::toys::BoundedCounter;
+use ssr_core::{max_branch_depth, reset_parents, Sdr, Status};
+use ssr_graph::generators;
+use ssr_runtime::{ConfigView, Daemon, Simulator, StepOutcome};
+
+/// Lemma 7.2 (edge form): along every RParent edge `(v, u)`,
+/// `st_u = RB ⇒ st_v = RB` and `st_u = RF ⇒ st_v ∈ {RB, RF}` — so
+/// every root-to-leaf branch reads `RB* RF*`.
+#[test]
+fn branch_status_pattern_rb_star_rf_star() {
+    let g = generators::random_connected(14, 8, 0xB0);
+    for seed in 0..6 {
+        let sdr = Sdr::new(BoundedCounter::new(6));
+        let init = sdr.arbitrary_config(&g, seed);
+        let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, seed);
+        for _ in 0..50_000 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => {
+                    let states = sim.states();
+                    for u in g.nodes() {
+                        for v in reset_parents(sim.algorithm(), &g, states, u) {
+                            let su = states[u.index()].sdr.status;
+                            let sv = states[v.index()].sdr.status;
+                            match su {
+                                Status::RB => assert_eq!(
+                                    sv,
+                                    Status::RB,
+                                    "RB child {u:?} must have RB parent {v:?}"
+                                ),
+                                Status::RF => assert_ne!(
+                                    sv,
+                                    Status::C,
+                                    "RF child {u:?} cannot have a C parent {v:?}"
+                                ),
+                                Status::C => panic!("a C process cannot be a reset child"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 7.1: branch depth stays below n at every instant.
+#[test]
+fn branch_depth_below_n_always() {
+    let g = generators::ring(12);
+    let sdr = Sdr::new(BoundedCounter::new(5));
+    let init = sdr.arbitrary_config(&g, 0xDEE9);
+    let mut sim = Simulator::new(&g, sdr, init, Daemon::Central, 3);
+    for _ in 0..50_000 {
+        match sim.step() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => {
+                if let Some(depth) = max_branch_depth(sim.algorithm(), &g, sim.states()) {
+                    assert!(depth < g.node_count(), "Lemma 7.1 violated: depth {depth}");
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 7.3 (edge form): a reset child is neither an alive nor a dead
+/// root.
+#[test]
+fn reset_children_are_not_roots() {
+    let g = generators::random_connected(12, 6, 0xB3);
+    for seed in 0..6 {
+        let sdr = Sdr::new(BoundedCounter::new(5));
+        let init = sdr.arbitrary_config(&g, seed * 3 + 1);
+        let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.4 }, seed);
+        for _ in 0..20_000 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => {
+                    let view = ConfigView::new(&g, sim.states());
+                    for u in g.nodes() {
+                        if !reset_parents(sim.algorithm(), &g, sim.states(), u).is_empty() {
+                            assert!(
+                                !sim.algorithm().is_alive_root(u, &view),
+                                "{u:?} has a parent yet is an alive root"
+                            );
+                            assert!(
+                                !sim.algorithm().is_dead_root(u, &view),
+                                "{u:?} has a parent yet is a dead root"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Distance saturation: enormous corrupted distances must not wrap or
+/// panic — `compute(u)` saturates and the system still stabilizes.
+#[test]
+fn distance_saturation_is_safe() {
+    use ssr_core::{Composed, SdrState};
+    let g = generators::path(6);
+    let sdr = Sdr::new(BoundedCounter::new(4));
+    let check = Sdr::new(BoundedCounter::new(4));
+    let init: Vec<Composed<u32>> = (0..6)
+        .map(|i| {
+            Composed::new(
+                SdrState::new(
+                    if i % 2 == 0 { Status::RB } else { Status::C },
+                    u32::MAX - (i as u32),
+                ),
+                0,
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.6 }, 2);
+    let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+    assert!(out.reached, "must stabilize despite saturated distances");
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for SDR: the paper's closure theorems checked
+//! on randomized configurations, steps, daemons, and topologies.
+
+use proptest::prelude::*;
+use ssr_core::toys::{Agreement, BoundedCounter};
+use ssr_core::{alive_roots, Sdr, SegmentTracker};
+use ssr_graph::generators;
+use ssr_runtime::{ConfigView, Daemon, Simulator, StepOutcome};
+
+fn daemon_from(idx: u8) -> Daemon {
+    match idx % 5 {
+        0 => Daemon::Synchronous,
+        1 => Daemon::Central,
+        2 => Daemon::RandomSubset { p: 0.5 },
+        3 => Daemon::PreferHighRules,
+        _ => Daemon::LexMin,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 5 + Remark 2: at most one rule enabled per process, in any
+    /// configuration of any random instance.
+    #[test]
+    fn rules_mutually_exclusive(
+        n in 2usize..16,
+        extra in 0usize..10,
+        gseed in 0u64..100,
+        cseed in 0u64..1000,
+    ) {
+        let g = generators::random_connected(n, extra, gseed);
+        let sdr = Sdr::new(BoundedCounter::new(9));
+        let states = sdr.arbitrary_config(&g, cseed);
+        let view = ConfigView::new(&g, &states);
+        for u in g.nodes() {
+            prop_assert!(ssr_runtime::Algorithm::enabled_mask(&sdr, u, &view).count() <= 1);
+        }
+    }
+
+    /// Theorem 1: a configuration is terminal iff it is normal.
+    #[test]
+    fn terminal_iff_normal(
+        n in 2usize..14,
+        gseed in 0u64..50,
+        cseed in 0u64..500,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let sdr = Sdr::new(Agreement::new(4));
+        let states = sdr.arbitrary_config(&g, cseed);
+        let view = ConfigView::new(&g, &states);
+        let terminal = g
+            .nodes()
+            .all(|u| ssr_runtime::Algorithm::enabled_mask(&sdr, u, &view).is_empty());
+        prop_assert_eq!(terminal, sdr.is_normal_config(&g, &states));
+    }
+
+    /// Theorem 3 / Remark 4: along any execution, the alive-root set
+    /// only shrinks (never gains a member).
+    #[test]
+    fn alive_roots_never_created(
+        n in 3usize..12,
+        gseed in 0u64..30,
+        cseed in 0u64..200,
+        dseed in 0u64..50,
+        daemon_idx in 0u8..5,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let sdr = Sdr::new(BoundedCounter::new(6));
+        let init = sdr.arbitrary_config(&g, cseed);
+        let mut prev = alive_roots(&sdr, &g, &init);
+        let mut sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), dseed);
+        for _ in 0..300 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => {
+                    let now = alive_roots(sim.algorithm(), sim.graph(), sim.states());
+                    prop_assert!(now.is_subset(&prev), "alive roots created: {:?} ⊄ {:?}", now, prev);
+                    prev = now;
+                }
+            }
+        }
+    }
+
+    /// Corollary 2: ¬P_Up(u) is closed — once a process has no reason
+    /// to initiate a reset, it never regains one.
+    #[test]
+    fn not_p_up_closed(
+        n in 3usize..12,
+        gseed in 0u64..30,
+        cseed in 0u64..200,
+        daemon_idx in 0u8..5,
+    ) {
+        let g = generators::random_connected(n, n / 3, gseed);
+        let sdr = Sdr::new(Agreement::new(4));
+        let init = sdr.arbitrary_config(&g, cseed);
+        let check = Sdr::new(Agreement::new(4));
+        let mut sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), cseed);
+        let not_up = |sim: &Simulator<'_, Sdr<Agreement>>| -> Vec<bool> {
+            let view = sim.view();
+            g.nodes().map(|u| !check.p_up(u, &view)).collect()
+        };
+        let mut before = not_up(&sim);
+        for _ in 0..300 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => {
+                    let after = not_up(&sim);
+                    for u in g.nodes() {
+                        if before[u.index()] {
+                            prop_assert!(after[u.index()], "P_Up resurrected at {u:?}");
+                        }
+                    }
+                    before = after;
+                }
+            }
+        }
+    }
+
+    /// Theorem 2: P_Correct(u) ∨ P_RB(u) is closed.
+    #[test]
+    fn correct_or_rb_closed(
+        n in 3usize..12,
+        gseed in 0u64..30,
+        cseed in 0u64..200,
+        daemon_idx in 0u8..5,
+    ) {
+        let g = generators::random_connected(n, n / 3, gseed);
+        let sdr = Sdr::new(BoundedCounter::new(5));
+        let init = sdr.arbitrary_config(&g, cseed);
+        let check = Sdr::new(BoundedCounter::new(5));
+        let mut sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), cseed ^ 0xF);
+        let pred = |sim: &Simulator<'_, Sdr<BoundedCounter>>| -> Vec<bool> {
+            let view = sim.view();
+            g.nodes()
+                .map(|u| check.p_correct(u, &view) || check.p_rb(u, &view))
+                .collect()
+        };
+        let mut before = pred(&sim);
+        for _ in 0..300 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => {
+                    let after = pred(&sim);
+                    for u in g.nodes() {
+                        if before[u.index()] {
+                            prop_assert!(after[u.index()], "Theorem 2 violated at {u:?}");
+                        }
+                    }
+                    before = after;
+                }
+            }
+        }
+    }
+
+    /// Corollary 5 end-to-end: stabilization within 3n rounds from any
+    /// sampled configuration under any sampled daemon.
+    #[test]
+    fn stabilizes_within_3n_rounds(
+        n in 3usize..12,
+        gseed in 0u64..20,
+        cseed in 0u64..100,
+        daemon_idx in 0u8..5,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let nn = g.node_count() as u64;
+        let sdr = Sdr::new(Agreement::new(3));
+        let init = sdr.arbitrary_config(&g, cseed);
+        let check = Sdr::new(Agreement::new(3));
+        let mut sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), cseed);
+        let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+        prop_assert!(out.reached);
+        prop_assert!(out.rounds_at_hit <= 3 * nn);
+    }
+
+    /// Remark 5 + Corollary 3 via the tracker, randomized.
+    #[test]
+    fn segment_structure_random(
+        n in 3usize..10,
+        gseed in 0u64..20,
+        cseed in 0u64..100,
+        daemon_idx in 0u8..5,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let sdr = Sdr::new(BoundedCounter::new(4));
+        let init = sdr.arbitrary_config(&g, cseed);
+        let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+        let mut sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), cseed);
+        for _ in 0..100_000 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => tracker.after_step(
+                    sim.algorithm(),
+                    sim.graph(),
+                    sim.states(),
+                    sim.last_activated(),
+                ),
+            }
+        }
+        let report = tracker.report();
+        prop_assert!(report.ok(), "{:?}", report.violations);
+        prop_assert!(report.segments <= g.node_count() as u64 + 1);
+    }
+}

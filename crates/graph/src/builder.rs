@@ -1,0 +1,219 @@
+//! Validated construction of [`Graph`] values.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Graph, NodeId};
+
+/// Errors rejected by [`GraphBuilder::build`].
+///
+/// The computational model of the paper requires a *simple undirected
+/// connected* graph (§2.1); every violation is a distinct variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no node.
+    Empty,
+    /// An edge endpoint is `>= n`.
+    NodeOutOfRange { node: u32, n: usize },
+    /// An edge `{u, u}` was added.
+    SelfLoop { node: u32 },
+    /// The same undirected edge was added twice.
+    ParallelEdge { u: u32, v: u32 },
+    /// The graph is not connected.
+    Disconnected { reachable: usize, n: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::ParallelEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::Disconnected { reachable, n } => {
+                write!(f, "graph is disconnected: only {reachable} of {n} nodes reachable")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), ssr_graph::GraphError> {
+/// let g = GraphBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 3)
+///     .build()?;
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes (ids `0 .. n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Order of endpoints is irrelevant.
+    #[must_use]
+    pub fn edge(mut self, u: u32, v: u32) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator of endpoint pairs.
+    #[must_use]
+    pub fn edges<I: IntoIterator<Item = (u32, u32)>>(mut self, it: I) -> Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the graph is empty, an endpoint is out
+    /// of range, an edge is a self-loop or duplicated, or the graph is
+    /// disconnected.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let n = self.n;
+        let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (a, b) in &self.edges {
+            let (a, b) = (*a, *b);
+            if a as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: a, n });
+            }
+            if b as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: b, n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                return Err(GraphError::ParallelEdge { u: key.0, v: key.1 });
+            }
+            adj[a as usize].push(NodeId(b));
+            adj[b as usize].push(NodeId(a));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+
+        // Connectivity check by BFS from node 0.
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[0] = true;
+        queue.push_back(NodeId(0));
+        let mut reachable = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u.index()] {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    reachable += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if reachable != n {
+            return Err(GraphError::Disconnected { reachable, n });
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nbrs = Vec::with_capacity(2 * seen.len());
+        offsets.push(0u32);
+        for list in &adj {
+            nbrs.extend_from_slice(list);
+            offsets.push(u32::try_from(nbrs.len()).expect("edge count exceeds u32::MAX"));
+        }
+        Ok(Graph::from_parts(offsets, nbrs, seen.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(GraphBuilder::new(0).build(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            GraphBuilder::new(2).edge(0, 2).build(),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            GraphBuilder::new(2).edge(1, 1).build(),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_parallel_edges_in_both_orders() {
+        assert_eq!(
+            GraphBuilder::new(2).edge(0, 1).edge(1, 0).build(),
+            Err(GraphError::ParallelEdge { u: 0, v: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        assert_eq!(
+            GraphBuilder::new(4).edge(0, 1).edge(2, 3).build(),
+            Err(GraphError::Disconnected { reachable: 2, n: 4 })
+        );
+    }
+
+    #[test]
+    fn builds_from_iterator() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = GraphBuilder::new(4).edge(0, 1).edge(2, 3).build().unwrap_err();
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Exact graph metrics: BFS distances, eccentricities, diameter.
+//!
+//! The paper's bounds are stated in terms of `n`, `m`, `Δ` (available on
+//! [`Graph`] directly) and the diameter `D` computed here.
+
+use crate::{Graph, NodeId};
+
+/// Single-source BFS distances from `src` (in hops).
+///
+/// Every node is reachable because [`Graph`] is connected by construction.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::{generators, metrics, NodeId};
+/// let g = generators::path(4);
+/// assert_eq!(metrics::bfs_distances(&g, NodeId(0)), vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    debug_assert!(dist.iter().all(|&d| d != u32::MAX), "graph must be connected");
+    dist
+}
+
+/// Eccentricity of `u`: its maximum BFS distance to any node.
+pub fn eccentricity(g: &Graph, u: NodeId) -> u32 {
+    bfs_distances(g, u).into_iter().max().unwrap_or(0)
+}
+
+/// Diameter `D`: the maximum eccentricity, via all-pairs BFS (`O(n·m)`).
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::{generators, metrics};
+/// assert_eq!(metrics::diameter(&generators::ring(8)), 4);
+/// assert_eq!(metrics::diameter(&generators::complete(8)), 1);
+/// ```
+pub fn diameter(g: &Graph) -> u32 {
+    g.nodes().map(|u| eccentricity(g, u)).max().unwrap_or(0)
+}
+
+/// Radius: the minimum eccentricity.
+pub fn radius(g: &Graph) -> u32 {
+    g.nodes().map(|u| eccentricity(g, u)).min().unwrap_or(0)
+}
+
+/// Average degree `2m / n`.
+pub fn average_degree(g: &Graph) -> f64 {
+    2.0 * g.edge_count() as f64 / g.node_count() as f64
+}
+
+/// Summary of the quantities appearing in the paper's bounds.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::{generators, metrics::GraphProfile};
+/// let p = GraphProfile::of(&generators::ring(10));
+/// assert_eq!((p.n, p.m, p.max_degree, p.diameter), (10, 10, 2, 5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphProfile {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Number of edges `m`.
+    pub m: usize,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Diameter `D`.
+    pub diameter: u32,
+}
+
+impl GraphProfile {
+    /// Computes the profile of `g` (runs all-pairs BFS).
+    pub fn of(g: &Graph) -> Self {
+        GraphProfile {
+            n: g.node_count(),
+            m: g.edge_count(),
+            max_degree: g.max_degree(),
+            diameter: diameter(g),
+        }
+    }
+}
+
+/// Renders the graph in Graphviz DOT format (for debugging and docs).
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::{generators, metrics};
+/// let dot = metrics::to_dot(&generators::path(3), "p3");
+/// assert!(dot.contains("graph p3 {"));
+/// assert!(dot.contains("  0 -- 1;"));
+/// ```
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for u in g.nodes() {
+        let _ = writeln!(out, "  {u};");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_export_contains_all_edges() {
+        let g = generators::ring(4);
+        let dot = to_dot(&g, "c4");
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.starts_with("graph c4 {"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = generators::star(5);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 4); // leaves
+        assert_eq!(hist[4], 1); // hub
+        assert_eq!(hist.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn bfs_on_star() {
+        let g = generators::star(5);
+        assert_eq!(bfs_distances(&g, NodeId(0)), vec![0, 1, 1, 1, 1]);
+        assert_eq!(bfs_distances(&g, NodeId(1)), vec![1, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn eccentricity_path_ends() {
+        let g = generators::path(5);
+        assert_eq!(eccentricity(&g, NodeId(0)), 4);
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+    }
+
+    #[test]
+    fn radius_vs_diameter() {
+        let g = generators::path(5);
+        assert_eq!(radius(&g), 2);
+        assert_eq!(diameter(&g), 4);
+    }
+
+    #[test]
+    fn single_node_metrics() {
+        let g = crate::GraphBuilder::new(1).build().unwrap();
+        assert_eq!(diameter(&g), 0);
+        assert_eq!(radius(&g), 0);
+        assert_eq!(average_degree(&g), 0.0);
+    }
+
+    #[test]
+    fn average_degree_ring() {
+        let g = generators::ring(10);
+        assert!((average_degree(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_matches_parts() {
+        let g = generators::grid(3, 3);
+        let p = GraphProfile::of(&g);
+        assert_eq!(p.n, 9);
+        assert_eq!(p.m, 12);
+        assert_eq!(p.max_degree, 4);
+        assert_eq!(p.diameter, 4);
+    }
+}

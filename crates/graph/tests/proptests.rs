@@ -1,0 +1,79 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use ssr_graph::{generators, metrics, GraphBuilder, NodeId};
+
+proptest! {
+    /// Every random connected graph is simple, undirected, connected,
+    /// with consistent ports.
+    #[test]
+    fn random_connected_valid(n in 1usize..40, extra in 0usize..40, seed in 0u64..1000) {
+        let g = generators::random_connected(n, extra, seed);
+        prop_assert_eq!(g.node_count(), n);
+        // Symmetry + port consistency.
+        for u in g.nodes() {
+            for (port, &v) in g.neighbors(u).iter().enumerate() {
+                prop_assert_ne!(u, v, "no self-loops");
+                prop_assert!(g.are_neighbors(v, u), "undirected");
+                prop_assert_eq!(g.neighbor_at(u, port), v);
+                prop_assert_eq!(g.port_of(u, v), Some(port));
+            }
+            // Sorted, deduplicated adjacency.
+            let nbrs = g.neighbors(u);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+        // Edge count = half the degree sum.
+        let degree_sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    /// Trees have exactly n−1 edges and diameter < n.
+    #[test]
+    fn random_tree_props(n in 1usize..60, seed in 0u64..500) {
+        let g = generators::random_tree(n, seed);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert!((metrics::diameter(&g) as usize) < n);
+    }
+
+    /// BFS distances satisfy the 1-Lipschitz property across edges.
+    #[test]
+    fn bfs_distances_lipschitz(n in 2usize..30, extra in 0usize..20, seed in 0u64..200) {
+        let g = generators::random_connected(n, extra, seed);
+        let dist = metrics::bfs_distances(&g, NodeId(0));
+        for (u, v) in g.edges() {
+            let du = dist[u.index()] as i64;
+            let dv = dist[v.index()] as i64;
+            prop_assert!((du - dv).abs() <= 1);
+        }
+    }
+
+    /// Diameter bounds: radius ≤ diameter ≤ 2·radius, diameter ≤ n−1.
+    #[test]
+    fn diameter_radius_relations(n in 2usize..25, extra in 0usize..15, seed in 0u64..200) {
+        let g = generators::random_connected(n, extra, seed);
+        let d = metrics::diameter(&g);
+        let r = metrics::radius(&g);
+        prop_assert!(r <= d);
+        prop_assert!(d <= 2 * r);
+        prop_assert!((d as usize) < n);
+    }
+
+    /// The builder accepts any valid edge list and round-trips it.
+    #[test]
+    fn builder_roundtrip(n in 2usize..20, seed in 0u64..200) {
+        let g = generators::random_connected(n, n, seed);
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let rebuilt = GraphBuilder::new(n).edges(edges).build().unwrap();
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    /// gnp stays connected for every p.
+    #[test]
+    fn gnp_always_connected(n in 1usize..25, p in 0.0f64..1.0, seed in 0u64..100) {
+        // Construction succeeding implies connectivity (builder checks).
+        let g = generators::gnp_connected(n, p, seed);
+        prop_assert_eq!(g.node_count(), n);
+    }
+}

@@ -1,0 +1,66 @@
+//! Executable model of the *locally shared memory model with composite
+//! atomicity* (Dijkstra's state model) used by the SDR paper (§2.2–2.5).
+//!
+//! A distributed [`Algorithm`] is a set of guarded rules per process.
+//! A configuration is a vector of per-process states. In each step a
+//! *daemon* activates a non-empty subset of the enabled processes; every
+//! activated process atomically executes one enabled rule, reading the
+//! **old** states of its closed neighborhood and writing only its own
+//! state.
+//!
+//! The [`Simulator`] drives executions and accounts for the two time
+//! measures of the paper:
+//!
+//! * **moves** — rule executions, total / per process / per rule;
+//! * **rounds** — via the *neutralization* definition (§2.4): the first
+//!   round is the minimal prefix in which every process enabled in the
+//!   initial configuration either moves or becomes neutralized
+//!   (enabled before a step, not activated, disabled after).
+//!
+//! [`Daemon`] provides schedules ranging from synchronous to adversarial
+//! heuristics; all of them are legal *distributed unfair daemon*
+//! executions, so measured times are existential lower bounds that the
+//! paper's universal upper bounds must dominate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_graph::generators;
+//! use ssr_runtime::{Algorithm, Daemon, NodeId, RuleId, RuleMask, Simulator, StateView};
+//!
+//! /// Toy flood: a node with a `true` neighbor becomes `true`.
+//! struct Flood;
+//! impl Algorithm for Flood {
+//!     type State = bool;
+//!     fn rule_count(&self) -> usize { 1 }
+//!     fn rule_name(&self, _: RuleId) -> &'static str { "flood" }
+//!     fn enabled_mask<V: StateView<bool>>(&self, u: NodeId, view: &V) -> RuleMask {
+//!         let infected = view.graph().neighbors(u).iter().any(|&v| *view.state(v));
+//!         RuleMask::from_bool(!*view.state(u) && infected)
+//!     }
+//!     fn apply<V: StateView<bool>>(&self, _: NodeId, _: &V, _: RuleId) -> bool { true }
+//! }
+//!
+//! let g = generators::path(5);
+//! let mut init = vec![false; 5];
+//! init[0] = true;
+//! let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 42);
+//! let out = sim.run_to_termination(1_000);
+//! assert!(out.terminal);
+//! assert_eq!(sim.stats().moves, 4);
+//! assert_eq!(sim.stats().completed_rounds, 4);
+//! ```
+
+mod algorithm;
+mod daemon;
+pub mod faults;
+pub mod report;
+pub mod rng;
+mod simulator;
+
+pub use algorithm::{Algorithm, ConfigView, MapView, RuleId, RuleMask, StateView};
+pub use daemon::Daemon;
+pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome};
+
+// Re-export the graph handle: every API in this crate speaks `NodeId`.
+pub use ssr_graph::NodeId;

@@ -1,0 +1,144 @@
+//! Minimal text-table rendering for the experiment harness.
+//!
+//! The `experiments` binary prints EXPERIMENTS.md-style markdown tables;
+//! this module keeps the formatting in one place.
+
+use std::fmt;
+
+/// A markdown table under construction.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_runtime::report::Table;
+///
+/// let mut t = Table::new(["topology", "n", "rounds"]);
+/// t.row(["ring", "16", "11"]);
+/// t.row(["star", "16", "4"]);
+/// let text = t.to_string();
+/// assert!(text.contains("| topology | n  | rounds |"));
+/// assert!(text.lines().count() == 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<const N: usize>(header: [&str; N]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must have as many cells as the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row<const N: usize>(&mut self, cells: [&str; N]) -> &mut Self {
+        assert_eq!(N, self.header.len(), "row arity must match header");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row_vec(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..cols {
+                let pad = widths[i] - cells[i].chars().count();
+                write!(f, " {}{} |", cells[i], " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as a fixed-point string (e.g. `0.43`).
+pub fn ratio(numerator: f64, denominator: f64) -> String {
+    if denominator == 0.0 {
+        "—".to_string()
+    } else {
+        format!("{:.3}", numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["xx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "| a  | bbbb |");
+        assert_eq!(lines[1], "|----|------|");
+        assert_eq!(lines[2], "| xx | 1    |");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row_vec(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(1.0, 2.0), "0.500");
+        assert_eq!(ratio(1.0, 0.0), "—");
+    }
+}

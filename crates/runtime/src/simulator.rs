@@ -1,0 +1,722 @@
+//! The [`Simulator`]: composite-atomicity execution engine with move and
+//! round accounting.
+
+use ssr_graph::{Graph, NodeId};
+
+use crate::algorithm::{Algorithm, ConfigView, RuleId, RuleMask};
+use crate::daemon::Daemon;
+use crate::rng::Xoshiro256StarStar;
+
+/// Execution counters (§2.4 time measures).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Steps taken (configuration transitions).
+    pub steps: u64,
+    /// Total moves (rule executions; ≥ steps, = steps for central daemons).
+    pub moves: u64,
+    /// Rounds fully completed (neutralization-based, §2.4).
+    pub completed_rounds: u64,
+    /// Moves per process.
+    pub moves_per_process: Vec<u64>,
+    /// Moves per rule.
+    pub moves_per_rule: Vec<u64>,
+    /// Moves per (process, rule), flattened as `process * rule_count + rule`.
+    pub moves_per_process_rule: Vec<u64>,
+}
+
+impl RunStats {
+    fn new(n: usize, rules: usize) -> Self {
+        RunStats {
+            steps: 0,
+            moves: 0,
+            completed_rounds: 0,
+            moves_per_process: vec![0; n],
+            moves_per_rule: vec![0; rules],
+            moves_per_process_rule: vec![0; n * rules],
+        }
+    }
+
+    /// Moves executed by process `u` with rule `rule`.
+    pub fn moves_of(&self, u: NodeId, rule: RuleId, rule_count: usize) -> u64 {
+        self.moves_per_process_rule[u.index() * rule_count + rule.index()]
+    }
+
+    /// The maximum per-process move count.
+    pub fn max_moves_per_process(&self) -> u64 {
+        self.moves_per_process.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Result of a single [`Simulator::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// No process was enabled; the configuration is terminal.
+    Terminal,
+    /// A step was taken, activating `activated` processes.
+    Progress {
+        /// Number of processes that moved in this step.
+        activated: usize,
+    },
+}
+
+/// Result of a bounded run ([`Simulator::run_until`] /
+/// [`Simulator::run_to_termination`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the target predicate was reached (always `false` for
+    /// plain termination runs that hit the step bound).
+    pub reached: bool,
+    /// Whether the final configuration is terminal.
+    pub terminal: bool,
+    /// Steps taken during this run (not cumulative).
+    pub steps_used: u64,
+    /// Moves counted up to (and including) the step that reached the
+    /// predicate, cumulative over the simulator's lifetime.
+    pub moves_at_hit: u64,
+    /// Stabilization time in rounds: completed rounds before the hit,
+    /// counting a partially elapsed round as one full round.
+    pub rounds_at_hit: u64,
+}
+
+/// Composite-atomicity execution engine.
+///
+/// Owns the configuration, evaluates guards (with incremental caching:
+/// after a step only the movers and their neighbors are re-evaluated),
+/// lets a [`Daemon`] pick the activated subset, and maintains move and
+/// round counters.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Simulator<'g, A: Algorithm> {
+    graph: &'g Graph,
+    algo: A,
+    daemon: Daemon,
+    rng: Xoshiro256StarStar,
+    random_rule_choice: bool,
+    states: Vec<A::State>,
+    masks: Vec<RuleMask>,
+    /// Enabled nodes as an indexed set (swap-remove list + position map).
+    enabled_list: Vec<NodeId>,
+    enabled_pos: Vec<u32>,
+    /// Steps each process has been continuously enabled (for `Aging`).
+    waits: Vec<u32>,
+    track_waits: bool,
+    /// Round front: processes enabled at round start, still pending.
+    front: Vec<bool>,
+    front_count: usize,
+    /// Whether the last step completed a round.
+    round_just_completed: bool,
+    rr_cursor: usize,
+    stats: RunStats,
+    // Scratch buffers (reused across steps).
+    selected: Vec<NodeId>,
+    pending: Vec<(NodeId, RuleId, A::State)>,
+    last_activated: Vec<(NodeId, RuleId)>,
+    touched_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+const NOT_ENABLED: u32 = u32::MAX;
+
+impl<'g, A: Algorithm> Simulator<'g, A> {
+    /// Creates a simulator over `graph` starting from configuration
+    /// `init`, scheduled by `daemon`, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len() != graph.node_count()` or the algorithm
+    /// declares more than 32 rules.
+    pub fn new(graph: &'g Graph, algo: A, init: Vec<A::State>, daemon: Daemon, seed: u64) -> Self {
+        assert_eq!(
+            init.len(),
+            graph.node_count(),
+            "initial configuration size must match node count"
+        );
+        assert!(algo.rule_count() <= 32, "at most 32 rules are supported");
+        let n = graph.node_count();
+        let rules = algo.rule_count();
+        let track_waits = daemon.needs_wait_tracking();
+        let mut sim = Simulator {
+            graph,
+            algo,
+            daemon,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            random_rule_choice: false,
+            states: init,
+            masks: vec![RuleMask::NONE; n],
+            enabled_list: Vec::with_capacity(n),
+            enabled_pos: vec![NOT_ENABLED; n],
+            waits: vec![0; n],
+            track_waits,
+            front: vec![false; n],
+            front_count: 0,
+            round_just_completed: false,
+            rr_cursor: 0,
+            stats: RunStats::new(n, rules),
+            selected: Vec::new(),
+            pending: Vec::new(),
+            last_activated: Vec::new(),
+            touched_stamp: vec![0; n],
+            stamp: 0,
+        };
+        sim.recompute_all();
+        sim.start_round();
+        sim
+    }
+
+    /// When set, a process with several enabled rules executes a
+    /// uniformly random one instead of the lowest-index one (the model
+    /// leaves this choice nondeterministic, §2.2).
+    pub fn set_random_rule_choice(&mut self, random: bool) {
+        self.random_rule_choice = random;
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The algorithm instance.
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// Current configuration (one state per node).
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// Current state of process `u`.
+    pub fn state(&self, u: NodeId) -> &A::State {
+        &self.states[u.index()]
+    }
+
+    /// Read-only view of the current configuration.
+    pub fn view(&self) -> ConfigView<'_, A::State> {
+        ConfigView::new(self.graph, &self.states)
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Whether no rule is enabled anywhere (terminal configuration).
+    pub fn is_terminal(&self) -> bool {
+        self.enabled_list.is_empty()
+    }
+
+    /// Number of currently enabled processes.
+    pub fn enabled_count(&self) -> usize {
+        self.enabled_list.len()
+    }
+
+    /// Enabled processes in ascending index order (for tests/reports).
+    pub fn enabled_nodes_sorted(&self) -> Vec<NodeId> {
+        let mut v = self.enabled_list.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// The enabled-rule mask of `u` in the current configuration.
+    pub fn enabled_mask_of(&self, u: NodeId) -> RuleMask {
+        self.masks[u.index()]
+    }
+
+    /// The `(process, rule)` pairs activated by the most recent step.
+    pub fn last_activated(&self) -> &[(NodeId, RuleId)] {
+        &self.last_activated
+    }
+
+    /// Stabilization rounds if the predicate held *now* (partial round
+    /// counts as one).
+    pub fn rounds_now(&self) -> u64 {
+        if self.stats.steps == 0 || self.round_just_completed {
+            self.stats.completed_rounds
+        } else {
+            self.stats.completed_rounds + 1
+        }
+    }
+
+    /// Overwrites the state of `u` (transient-fault injection) and
+    /// restarts round tracking from the resulting configuration.
+    ///
+    /// Move/round counters are preserved; see [`Simulator::reset_stats`]
+    /// to measure recovery in isolation.
+    pub fn inject(&mut self, u: NodeId, state: A::State) {
+        self.states[u.index()] = state;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.refresh_node(u, stamp);
+        for &v in self.graph.neighbors(u) {
+            self.refresh_node(v, stamp);
+        }
+        self.start_round();
+    }
+
+    /// Zeroes all counters and restarts round tracking (useful to
+    /// measure recovery after [`Simulator::inject`]).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::new(self.graph.node_count(), self.algo.rule_count());
+        self.round_just_completed = false;
+        self.start_round();
+    }
+
+    /// Executes one step: the daemon activates a non-empty subset of the
+    /// enabled processes; each executes one enabled rule, all reading
+    /// the pre-step configuration.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.enabled_list.is_empty() {
+            return StepOutcome::Terminal;
+        }
+        // 1. Daemon selection.
+        let mut selected = std::mem::take(&mut self.selected);
+        self.daemon.select(
+            &self.enabled_list,
+            &self.masks,
+            &self.waits,
+            &mut self.rr_cursor,
+            &mut self.rng,
+            &mut selected,
+        );
+
+        // 2. Compute new states against the *old* configuration.
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.clear();
+        self.last_activated.clear();
+        {
+            let view = ConfigView::new(self.graph, &self.states);
+            for &u in &selected {
+                let mask = self.masks[u.index()];
+                debug_assert!(!mask.is_empty(), "daemon selected a disabled process");
+                let rule = if self.random_rule_choice && mask.count() > 1 {
+                    let k = self.rng.below(mask.count() as u64) as u32;
+                    mask.iter().nth(k as usize).expect("mask has k-th rule")
+                } else {
+                    mask.first().expect("mask non-empty")
+                };
+                let next = self.algo.apply(u, &view, rule);
+                pending.push((u, rule, next));
+            }
+        }
+
+        // 3. Commit all writes (composite atomicity).
+        for (u, rule, next) in pending.drain(..) {
+            self.states[u.index()] = next;
+            self.stats.moves += 1;
+            self.stats.moves_per_process[u.index()] += 1;
+            self.stats.moves_per_rule[rule.index()] += 1;
+            self.stats.moves_per_process_rule[u.index() * self.algo.rule_count() + rule.index()] +=
+                1;
+            self.last_activated.push((u, rule));
+        }
+        self.pending = pending;
+        self.stats.steps += 1;
+
+        // 4. Re-evaluate guards of movers and their neighbors.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for i in 0..self.last_activated.len() {
+            let u = self.last_activated[i].0;
+            self.refresh_node(u, stamp);
+            let deg = self.graph.degree(u);
+            for k in 0..deg {
+                let v = self.graph.neighbor_at(u, k);
+                self.refresh_node(v, stamp);
+            }
+        }
+
+        // 5. Wait tracking (only when the daemon needs it).
+        if self.track_waits {
+            for &u in &self.enabled_list {
+                self.waits[u.index()] = self.waits[u.index()].saturating_add(1);
+            }
+            for &(u, _) in &self.last_activated {
+                self.waits[u.index()] = 0;
+            }
+        }
+
+        // 6. Round accounting: remove activated and neutralized
+        // processes from the front. (Front processes are enabled at
+        // round start; if one became disabled it did so in this step —
+        // earlier disabling would already have removed it.)
+        for i in 0..self.last_activated.len() {
+            let u = self.last_activated[i].0;
+            self.front_remove(u);
+        }
+        // Neutralized: in front but no longer enabled.
+        if self.front_count > 0 {
+            // Only nodes whose mask changed this step can have left the
+            // enabled set; they are exactly the refreshed ones, but
+            // checking the front lazily is simpler: membership requires
+            // enabledness, so scan refreshed nodes only.
+            for i in 0..self.last_activated.len() {
+                let u = self.last_activated[i].0;
+                if self.masks[u.index()].is_empty() {
+                    self.front_remove(u);
+                }
+                let deg = self.graph.degree(u);
+                for k in 0..deg {
+                    let v = self.graph.neighbor_at(u, k);
+                    if self.front[v.index()] && self.masks[v.index()].is_empty() {
+                        self.front_remove(v);
+                    }
+                }
+            }
+        }
+        self.round_just_completed = false;
+        if self.front_count == 0 {
+            self.stats.completed_rounds += 1;
+            self.round_just_completed = true;
+            self.start_round();
+        }
+
+        let activated = self.last_activated.len();
+        selected.clear();
+        self.selected = selected;
+        StepOutcome::Progress { activated }
+    }
+
+    /// Runs until `predicate` holds (checked on the initial configuration
+    /// too), the configuration becomes terminal, or `max_steps` elapse.
+    pub fn run_until(
+        &mut self,
+        max_steps: u64,
+        mut predicate: impl FnMut(&Graph, &[A::State]) -> bool,
+    ) -> RunOutcome {
+        let mut steps_used = 0;
+        if predicate(self.graph, &self.states) {
+            return RunOutcome {
+                reached: true,
+                terminal: self.is_terminal(),
+                steps_used,
+                moves_at_hit: self.stats.moves,
+                rounds_at_hit: self.rounds_now(),
+            };
+        }
+        while steps_used < max_steps {
+            match self.step() {
+                StepOutcome::Terminal => {
+                    return RunOutcome {
+                        reached: false,
+                        terminal: true,
+                        steps_used,
+                        moves_at_hit: self.stats.moves,
+                        rounds_at_hit: self.rounds_now(),
+                    };
+                }
+                StepOutcome::Progress { .. } => {
+                    steps_used += 1;
+                    if predicate(self.graph, &self.states) {
+                        return RunOutcome {
+                            reached: true,
+                            terminal: self.is_terminal(),
+                            steps_used,
+                            moves_at_hit: self.stats.moves,
+                            rounds_at_hit: self.rounds_now(),
+                        };
+                    }
+                }
+            }
+        }
+        RunOutcome {
+            reached: false,
+            terminal: self.is_terminal(),
+            steps_used,
+            moves_at_hit: self.stats.moves,
+            rounds_at_hit: self.rounds_now(),
+        }
+    }
+
+    /// Runs until the configuration is terminal or `max_steps` elapse.
+    pub fn run_to_termination(&mut self, max_steps: u64) -> RunOutcome {
+        let mut steps_used = 0;
+        while steps_used < max_steps {
+            match self.step() {
+                StepOutcome::Terminal => {
+                    return RunOutcome {
+                        reached: true,
+                        terminal: true,
+                        steps_used,
+                        moves_at_hit: self.stats.moves,
+                        rounds_at_hit: self.rounds_now(),
+                    };
+                }
+                StepOutcome::Progress { .. } => steps_used += 1,
+            }
+        }
+        RunOutcome {
+            reached: self.is_terminal(),
+            terminal: self.is_terminal(),
+            steps_used,
+            moves_at_hit: self.stats.moves,
+            rounds_at_hit: self.rounds_now(),
+        }
+    }
+
+    // ---- internals ----
+
+    fn recompute_all(&mut self) {
+        let view = ConfigView::new(self.graph, &self.states);
+        for u in self.graph.nodes() {
+            let mask = self.algo.enabled_mask(u, &view);
+            self.masks[u.index()] = mask;
+        }
+        self.enabled_list.clear();
+        self.enabled_pos.fill(NOT_ENABLED);
+        for u in self.graph.nodes() {
+            if !self.masks[u.index()].is_empty() {
+                self.enabled_pos[u.index()] = self.enabled_list.len() as u32;
+                self.enabled_list.push(u);
+            }
+        }
+    }
+
+    /// Re-evaluates `u`'s guards if not already refreshed at `stamp`.
+    fn refresh_node(&mut self, u: NodeId, stamp: u64) {
+        if self.touched_stamp[u.index()] == stamp {
+            return;
+        }
+        self.touched_stamp[u.index()] = stamp;
+        let view = ConfigView::new(self.graph, &self.states);
+        let mask = self.algo.enabled_mask(u, &view);
+        let was = !self.masks[u.index()].is_empty();
+        let now = !mask.is_empty();
+        self.masks[u.index()] = mask;
+        match (was, now) {
+            (false, true) => {
+                self.enabled_pos[u.index()] = self.enabled_list.len() as u32;
+                self.enabled_list.push(u);
+                if self.track_waits {
+                    self.waits[u.index()] = 0;
+                }
+            }
+            (true, false) => {
+                let pos = self.enabled_pos[u.index()] as usize;
+                let lastn = *self.enabled_list.last().expect("list non-empty");
+                self.enabled_list.swap_remove(pos);
+                if pos < self.enabled_list.len() {
+                    self.enabled_pos[lastn.index()] = pos as u32;
+                }
+                self.enabled_pos[u.index()] = NOT_ENABLED;
+                if self.track_waits {
+                    self.waits[u.index()] = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Begins a new round: the front is the set of enabled processes.
+    fn start_round(&mut self) {
+        self.front.fill(false);
+        self.front_count = 0;
+        for &u in &self.enabled_list {
+            self.front[u.index()] = true;
+            self.front_count += 1;
+        }
+    }
+
+    fn front_remove(&mut self, u: NodeId) {
+        if self.front[u.index()] {
+            self.front[u.index()] = false;
+            self.front_count -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::StateView;
+    use ssr_graph::generators;
+
+    /// A node with all-zero closed neighborhood sets itself to 1.
+    ///
+    /// On `K_2` both nodes start enabled; activating one *neutralizes*
+    /// the other — the canonical test for round accounting.
+    struct ZeroBreaker;
+
+    impl Algorithm for ZeroBreaker {
+        type State = u8;
+        fn rule_count(&self) -> usize {
+            1
+        }
+        fn rule_name(&self, _: RuleId) -> &'static str {
+            "break"
+        }
+        fn enabled_mask<V: StateView<u8>>(&self, u: NodeId, view: &V) -> RuleMask {
+            let all_zero = *view.state(u) == 0
+                && view.graph().neighbors(u).iter().all(|&v| *view.state(v) == 0);
+            RuleMask::from_bool(all_zero)
+        }
+        fn apply<V: StateView<u8>>(&self, _: NodeId, _: &V, _: RuleId) -> u8 {
+            1
+        }
+    }
+
+    /// Flood of `true` along edges (terminates, diameter-bound rounds).
+    struct Flood;
+
+    impl Algorithm for Flood {
+        type State = bool;
+        fn rule_count(&self) -> usize {
+            1
+        }
+        fn rule_name(&self, _: RuleId) -> &'static str {
+            "flood"
+        }
+        fn enabled_mask<V: StateView<bool>>(&self, u: NodeId, view: &V) -> RuleMask {
+            let infected = view.graph().neighbors(u).iter().any(|&v| *view.state(v));
+            RuleMask::from_bool(!*view.state(u) && infected)
+        }
+        fn apply<V: StateView<bool>>(&self, _: NodeId, _: &V, _: RuleId) -> bool {
+            true
+        }
+    }
+
+    fn flood_path(n: usize) -> (Vec<bool>, ssr_graph::Graph) {
+        let g = generators::path(n);
+        let mut init = vec![false; n];
+        init[0] = true;
+        (init, g)
+    }
+
+    #[test]
+    fn neutralization_counts_one_round_on_k2() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, ZeroBreaker, vec![0, 0], Daemon::LexMin, 1);
+        assert_eq!(sim.enabled_count(), 2);
+        // One step: node 0 moves, node 1 is neutralized -> round done.
+        assert_eq!(sim.step(), StepOutcome::Progress { activated: 1 });
+        assert!(sim.is_terminal());
+        assert_eq!(sim.stats().completed_rounds, 1);
+        assert_eq!(sim.stats().moves, 1);
+    }
+
+    #[test]
+    fn synchronous_flood_rounds_equal_distance() {
+        let (init, g) = flood_path(6);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        let out = sim.run_to_termination(100);
+        assert!(out.terminal);
+        // Distance from node 0 to node 5 is 5: five rounds, five moves.
+        assert_eq!(sim.stats().completed_rounds, 5);
+        assert_eq!(sim.stats().moves, 5);
+        assert!(sim.states().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn central_flood_same_rounds_more_steps_possible() {
+        let (init, g) = flood_path(6);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Central, 3);
+        let out = sim.run_to_termination(100);
+        assert!(out.terminal);
+        // Only one process is ever enabled on a path flood, so the
+        // central daemon still needs exactly 5 steps/moves/rounds.
+        assert_eq!(sim.stats().moves, 5);
+        assert_eq!(sim.stats().completed_rounds, 5);
+    }
+
+    #[test]
+    fn run_until_predicate_on_initial_config() {
+        let (init, g) = flood_path(4);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        let out = sim.run_until(100, |_, states| states[0]);
+        assert!(out.reached);
+        assert_eq!(out.steps_used, 0);
+        assert_eq!(out.rounds_at_hit, 0);
+    }
+
+    #[test]
+    fn run_until_mid_execution() {
+        let (init, g) = flood_path(5);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        let out = sim.run_until(100, |_, states| states[2]);
+        assert!(out.reached);
+        assert_eq!(out.steps_used, 2);
+        assert_eq!(out.rounds_at_hit, 2);
+    }
+
+    #[test]
+    fn run_until_respects_step_bound() {
+        let (init, g) = flood_path(10);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        let out = sim.run_until(3, |_, states| states[9]);
+        assert!(!out.reached);
+        assert_eq!(out.steps_used, 3);
+    }
+
+    #[test]
+    fn stats_track_per_process_moves() {
+        let (init, g) = flood_path(4);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.run_to_termination(100);
+        assert_eq!(sim.stats().moves_per_process, vec![0, 1, 1, 1]);
+        assert_eq!(sim.stats().moves_per_rule, vec![3]);
+        assert_eq!(sim.stats().max_moves_per_process(), 1);
+        assert_eq!(sim.stats().moves_of(NodeId(2), RuleId(0), 1), 1);
+    }
+
+    #[test]
+    fn inject_reactivates() {
+        let (init, g) = flood_path(3);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.run_to_termination(100);
+        assert!(sim.is_terminal());
+        // Faults cannot resurrect a flood (monotone), but injecting a
+        // fresh `false` next to a `true` re-enables the rule.
+        sim.inject(NodeId(1), false);
+        assert!(!sim.is_terminal());
+        sim.reset_stats();
+        let out = sim.run_to_termination(100);
+        assert!(out.terminal);
+        assert_eq!(sim.stats().moves, 1);
+    }
+
+    #[test]
+    fn terminal_step_is_reported() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, Flood, vec![true, true], Daemon::Central, 0);
+        assert!(sim.is_terminal());
+        assert_eq!(sim.step(), StepOutcome::Terminal);
+        assert_eq!(sim.stats().steps, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::random_connected(24, 12, 9);
+        let mut init = vec![false; 24];
+        init[0] = true;
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(&g, Flood, init.clone(), Daemon::RandomSubset { p: 0.4 }, seed);
+            sim.run_to_termination(10_000);
+            (sim.stats().clone(), sim.states().to_vec())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn rounds_bounded_by_steps() {
+        let g = generators::random_connected(16, 8, 2);
+        let mut init = vec![false; 16];
+        init[3] = true;
+        for daemon in Daemon::all_strategies() {
+            let mut sim = Simulator::new(&g, Flood, init.clone(), daemon.clone(), 11);
+            let out = sim.run_to_termination(10_000);
+            assert!(out.terminal, "flood must terminate under {daemon:?}");
+            assert!(
+                sim.stats().completed_rounds <= sim.stats().steps.max(1),
+                "rounds cannot exceed steps under {daemon:?}"
+            );
+            assert!(sim.states().iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn last_activated_reports_moves() {
+        let (init, g) = flood_path(3);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.step();
+        assert_eq!(sim.last_activated(), &[(NodeId(1), RuleId(0))]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the simulator itself: the incremental
+//! enabled-cache must agree with from-scratch guard evaluation, and the
+//! accounting must be internally consistent.
+
+use proptest::prelude::*;
+use ssr_graph::{generators, NodeId};
+use ssr_runtime::{
+    Algorithm, ConfigView, Daemon, RuleId, RuleMask, Simulator, StateView, StepOutcome,
+};
+
+/// A deliberately gnarly algorithm with two interacting rules, chosen
+/// to exercise enable/disable transitions in both directions:
+/// * `up`: if some neighbor is exactly one below me → increment them?
+///   No — actions write own state only: if I'm a strict local minimum →
+///   increment me;
+/// * `down`: if I'm more than 2 above some neighbor → drop to their
+///   level.
+#[derive(Clone)]
+struct SawTooth {
+    cap: u8,
+}
+
+impl Algorithm for SawTooth {
+    type State = u8;
+
+    fn rule_count(&self) -> usize {
+        2
+    }
+
+    fn rule_name(&self, rule: RuleId) -> &'static str {
+        if rule == RuleId(0) {
+            "up"
+        } else {
+            "down"
+        }
+    }
+
+    fn enabled_mask<V: StateView<u8>>(&self, u: NodeId, view: &V) -> RuleMask {
+        let x = *view.state(u);
+        let strict_min = view.graph().neighbors(u).iter().all(|&v| *view.state(v) > x);
+        let too_high = view
+            .graph()
+            .neighbors(u)
+            .iter()
+            .any(|&v| x > view.state(v).saturating_add(2));
+        RuleMask::NONE
+            .with_if(RuleId(0), strict_min && x < self.cap)
+            .with_if(RuleId(1), too_high)
+    }
+
+    fn apply<V: StateView<u8>>(&self, u: NodeId, view: &V, rule: RuleId) -> u8 {
+        let x = *view.state(u);
+        if rule == RuleId(0) {
+            x + 1
+        } else {
+            *view
+                .graph()
+                .neighbors(u)
+                .iter()
+                .map(|v| view.state(*v))
+                .min()
+                .expect("graph is connected, degree ≥ 1")
+        }
+    }
+}
+
+fn daemon_from(idx: u8) -> Daemon {
+    match idx % 6 {
+        0 => Daemon::Synchronous,
+        1 => Daemon::Central,
+        2 => Daemon::RandomSubset { p: 0.3 },
+        3 => Daemon::RoundRobin,
+        4 => Daemon::Aging { patience: 4 },
+        _ => Daemon::PreferHighRules,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental enabled-mask cache always agrees with a full
+    /// re-evaluation of every guard.
+    #[test]
+    fn enabled_cache_matches_full_recompute(
+        n in 2usize..16,
+        extra in 0usize..12,
+        gseed in 0u64..100,
+        init_seed in 0u64..100,
+        daemon_idx in 0u8..6,
+        steps in 1usize..60,
+    ) {
+        let g = generators::random_connected(n, extra, gseed);
+        let algo = SawTooth { cap: 12 };
+        let mut s = init_seed;
+        let init: Vec<u8> = (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 60) as u8
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, SawTooth { cap: 12 }, init, daemon_from(daemon_idx), 9);
+        for _ in 0..steps {
+            if let StepOutcome::Terminal = sim.step() {
+                break;
+            }
+            let view = ConfigView::new(&g, sim.states());
+            for u in g.nodes() {
+                let fresh = algo.enabled_mask(u, &view);
+                prop_assert_eq!(
+                    sim.enabled_mask_of(u),
+                    fresh,
+                    "cache diverged at {:?}",
+                    u
+                );
+            }
+            // The enabled list is exactly the nonzero masks.
+            let from_masks: Vec<NodeId> = g
+                .nodes()
+                .filter(|&u| !algo.enabled_mask(u, &view).is_empty())
+                .collect();
+            prop_assert_eq!(sim.enabled_nodes_sorted(), from_masks);
+        }
+    }
+
+    /// Accounting invariants: moves ≥ steps ≥ completed rounds; the
+    /// per-process and per-rule breakdowns sum to the total.
+    #[test]
+    fn accounting_consistent(
+        n in 2usize..14,
+        gseed in 0u64..50,
+        daemon_idx in 0u8..6,
+        steps in 1usize..80,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let init: Vec<u8> = (0..n).map(|i| (i % 7) as u8).collect();
+        let mut sim = Simulator::new(&g, SawTooth { cap: 9 }, init, daemon_from(daemon_idx), 5);
+        for _ in 0..steps {
+            if let StepOutcome::Terminal = sim.step() {
+                break;
+            }
+        }
+        let st = sim.stats();
+        prop_assert!(st.moves >= st.steps);
+        prop_assert!(st.completed_rounds <= st.steps);
+        prop_assert_eq!(st.moves_per_process.iter().sum::<u64>(), st.moves);
+        prop_assert_eq!(st.moves_per_rule.iter().sum::<u64>(), st.moves);
+        prop_assert_eq!(st.moves_per_process_rule.iter().sum::<u64>(), st.moves);
+    }
+
+    /// Determinism: identical seeds ⇒ identical executions, for every
+    /// daemon strategy.
+    #[test]
+    fn executions_deterministic(
+        n in 2usize..12,
+        gseed in 0u64..30,
+        daemon_idx in 0u8..6,
+        seed in 0u64..100,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let init: Vec<u8> = (0..n).map(|i| (i * 3 % 11) as u8).collect();
+        let run = || {
+            let mut sim = Simulator::new(
+                &g,
+                SawTooth { cap: 10 },
+                init.clone(),
+                daemon_from(daemon_idx),
+                seed,
+            );
+            sim.run_to_termination(2_000);
+            (sim.states().to_vec(), sim.stats().clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Fault injection preserves cache consistency.
+    #[test]
+    fn inject_keeps_cache_consistent(
+        n in 2usize..12,
+        gseed in 0u64..30,
+        victim in 0usize..12,
+        value in 0u8..15,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let algo = SawTooth { cap: 12 };
+        let init: Vec<u8> = vec![5; n];
+        let mut sim = Simulator::new(&g, SawTooth { cap: 12 }, init, Daemon::Central, 3);
+        sim.step();
+        sim.inject(NodeId((victim % n) as u32), value);
+        let view = ConfigView::new(&g, sim.states());
+        for u in g.nodes() {
+            prop_assert_eq!(sim.enabled_mask_of(u), algo.enabled_mask(u, &view));
+        }
+    }
+}

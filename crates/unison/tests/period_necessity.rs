@@ -1,0 +1,91 @@
+//! Why the paper requires `K > n` (§5.4): with `K = n` a ring admits a
+//! locally-coherent *deadlock* — every clock one ahead of the next
+//! around the cycle — exactly the configuration ruled out by the
+//! counting argument of Lemma 18. These tests exhibit the deadlock at
+//! `K = n` and its impossibility at `K = n + 1`.
+
+use ssr_core::{Composed, Standalone};
+use ssr_graph::generators;
+use ssr_runtime::{Daemon, Simulator};
+use ssr_unison::{spec, unison_sdr, Unison};
+
+/// The cyclic gradient `c_i = i` on a ring of `n = K` processes.
+fn cyclic_gradient(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+#[test]
+fn k_equals_n_deadlocks_on_the_ring() {
+    let n = 6usize;
+    let g = generators::ring(n);
+    // Deliberately illegal period K = n (the constructor itself permits
+    // it; only the validated entry point rejects it).
+    let unison = Unison::new(n as u64);
+    assert!(unison.validate_for(&g).is_err(), "K = n must be rejected");
+    let alg = Standalone::new(unison);
+    let sim = Simulator::new(&g, alg, cyclic_gradient(n), Daemon::Central, 0);
+    // Every process sees its successor one ahead and its predecessor
+    // one behind: locally coherent, yet nobody satisfies P_Up.
+    assert!(
+        sim.is_terminal(),
+        "the cyclic gradient is a liveness deadlock when K = n"
+    );
+    // Safety still *looks* fine — which is exactly why the deadlock is
+    // insidious and the paper insists on K > n.
+    assert!(spec::safety_holds(&g, sim.states(), n as u64));
+}
+
+#[test]
+fn k_greater_than_n_excludes_the_deadlock() {
+    // Lemma 18: with K > n no terminal configuration satisfies
+    // P_Clean ∧ P_ICorrect everywhere. The same gradient is no longer
+    // closed around the ring.
+    let n = 6usize;
+    let g = generators::ring(n);
+    let unison = Unison::for_graph(&g); // K = n + 1
+    assert!(unison.validate_for(&g).is_ok());
+    let alg = Standalone::new(unison);
+    // With K = 7 the wrap edge (5 → 0) has gap 5 ≢ ±1: not even safe,
+    // so the configuration is not a legitimate deadlock.
+    let sim = Simulator::new(&g, alg, cyclic_gradient(n), Daemon::Central, 0);
+    assert!(!spec::safety_holds(&g, sim.states(), n as u64 + 1));
+}
+
+#[test]
+fn composition_cannot_escape_an_illegal_period() {
+    // The deadlocked K = n configuration is *normal* for U ∘ SDR
+    // (clean + locally correct), so even the reset layer accepts it:
+    // the period bound is a genuine precondition, not something SDR
+    // can compensate for.
+    let n = 6usize;
+    let g = generators::ring(n);
+    let algo = unison_sdr(Unison::new(n as u64));
+    let states: Vec<Composed<u64>> = cyclic_gradient(n)
+        .into_iter()
+        .map(Composed::clean)
+        .collect();
+    assert!(algo.is_normal_config(&g, &states));
+    let mut sim = Simulator::new(&g, algo, states, Daemon::Central, 0);
+    let out = sim.run_to_termination(1_000);
+    assert!(out.terminal && out.steps_used == 0, "stuck, by design of the counterexample");
+}
+
+#[test]
+fn legal_period_makes_every_safe_config_live() {
+    // Complement: with K = n + 1, from any safe configuration the
+    // system keeps incrementing (probed over a window).
+    let n = 6usize;
+    let g = generators::ring(n);
+    let unison = Unison::for_graph(&g);
+    let alg = Standalone::new(unison);
+    // A safe band configuration.
+    let clocks: Vec<u64> = (0..n).map(|i| u64::from(i % 2 == 0)).collect();
+    let mut sim = Simulator::new(&g, alg, clocks, Daemon::RoundRobin, 1);
+    let mut monitor = spec::LivenessMonitor::new(sim.states());
+    for _ in 0..2_000 {
+        assert!(!sim.is_terminal(), "Lemma 18: no deadlock with K > n");
+        sim.step();
+        monitor.observe(sim.states());
+    }
+    assert!(monitor.all_incremented_at_least(10));
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for unison: safety closure, liveness, bounds.
+
+use proptest::prelude::*;
+use ssr_core::Standalone;
+use ssr_graph::generators;
+use ssr_runtime::{Daemon, Simulator, StepOutcome};
+use ssr_unison::{spec, unison_sdr, Unison};
+
+fn daemon_from(idx: u8) -> Daemon {
+    match idx % 5 {
+        0 => Daemon::Synchronous,
+        1 => Daemon::Central,
+        2 => Daemon::RandomSubset { p: 0.4 },
+        3 => Daemon::PreferLowRules,
+        _ => Daemon::RoundRobin,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `P_Ok` is symmetric and reflexive for any period and clocks.
+    #[test]
+    fn p_ok_symmetric(k in 2u64..100, a in 0u64..100, b in 0u64..100) {
+        let u = Unison::new(k);
+        let (a, b) = (a % k, b % k);
+        prop_assert!(u.p_ok(a, a));
+        prop_assert_eq!(u.p_ok(a, b), u.p_ok(b, a));
+    }
+
+    /// succ/pred are inverse bijections on the clock domain.
+    #[test]
+    fn succ_pred_inverse(k in 2u64..100, c in 0u64..100) {
+        let u = Unison::new(k);
+        let c = c % k;
+        prop_assert_eq!(u.pred(u.succ(c)), c);
+        prop_assert_eq!(u.succ(u.pred(c)), c);
+        prop_assert!(u.succ(c) < k);
+    }
+
+    /// Safety is closed under standalone U from any safe configuration
+    /// (Lemma 17 / Corollary 7 machinery).
+    #[test]
+    fn safety_closed_standalone(
+        n in 2usize..12,
+        gseed in 0u64..30,
+        base in 0u64..20,
+        daemon_idx in 0u8..5,
+        dseed in 0u64..50,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let unison = Unison::for_graph(&g);
+        let k = unison.period();
+        // A safe configuration: clocks within a ±1 band of `base`
+        // (every band configuration is safe).
+        let clocks: Vec<u64> = g
+            .nodes()
+            .map(|u| (base + u64::from(u.0 % 2)) % k)
+            .collect();
+        prop_assert!(spec::safety_holds(&g, &clocks, k));
+        let alg = Standalone::new(unison);
+        let mut sim = Simulator::new(&g, alg, clocks, daemon_from(daemon_idx), dseed);
+        for _ in 0..200 {
+            match sim.step() {
+                StepOutcome::Terminal => {
+                    prop_assert!(false, "unison must not terminate from safe configs");
+                }
+                StepOutcome::Progress { .. } => {
+                    prop_assert!(spec::safety_holds(&g, sim.states(), k));
+                }
+            }
+        }
+    }
+
+    /// U ∘ SDR stabilizes within 3n rounds and the Theorem 6 move
+    /// bound from arbitrary configurations.
+    #[test]
+    fn stabilization_bounds(
+        n in 3usize..12,
+        gseed in 0u64..20,
+        cseed in 0u64..100,
+        daemon_idx in 0u8..5,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let nn = g.node_count() as u64;
+        let d = ssr_graph::metrics::diameter(&g).max(1) as u64;
+        let algo = unison_sdr(Unison::for_graph(&g));
+        let init = algo.arbitrary_config(&g, cseed);
+        let check = unison_sdr(Unison::for_graph(&g));
+        let mut sim = Simulator::new(&g, algo, init, daemon_from(daemon_idx), cseed);
+        let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+        prop_assert!(out.reached);
+        prop_assert!(out.rounds_at_hit <= spec::theorem7_round_bound(nn));
+        prop_assert!(out.moves_at_hit <= spec::theorem6_move_bound(nn, d));
+    }
+
+    /// After stabilization, safety never breaks again (closure of the
+    /// legitimate set).
+    #[test]
+    fn safety_closed_after_stabilization(
+        n in 3usize..10,
+        gseed in 0u64..20,
+        cseed in 0u64..50,
+    ) {
+        let g = generators::random_connected(n, n / 2, gseed);
+        let algo = unison_sdr(Unison::for_graph(&g));
+        let k = algo.input().period();
+        let init = algo.arbitrary_config(&g, cseed);
+        let check = unison_sdr(Unison::for_graph(&g));
+        let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, cseed);
+        let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+        prop_assert!(out.reached);
+        for _ in 0..500 {
+            sim.step();
+            let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+            prop_assert!(spec::safety_holds(&g, &clocks, k));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests for the self-stabilizing unison `U ∘ SDR` (§5.5):
+//! Theorems 5, 6, 7 plus safety/liveness after stabilization.
+
+use ssr_core::Standalone;
+use ssr_graph::{generators, metrics, Graph};
+use ssr_runtime::{Daemon, Simulator, StepOutcome};
+use ssr_unison::{spec, unison_sdr, Unison};
+
+fn clocks_of(states: &[ssr_core::Composed<u64>]) -> Vec<u64> {
+    states.iter().map(|s| s.inner).collect()
+}
+
+/// Theorem 5 ingredients: from γ_init, standalone U keeps safety and
+/// every clock advances (liveness probe).
+#[test]
+fn standalone_unison_correct_from_gamma_init() {
+    let g = generators::random_connected(12, 8, 4);
+    let unison = Unison::for_graph(&g);
+    let k = unison.period();
+    let alg = Standalone::new(unison);
+    let init = alg.initial_config(&g);
+    let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.6 }, 3);
+    let mut monitor = spec::LivenessMonitor::new(sim.states());
+    for _ in 0..5_000 {
+        match sim.step() {
+            StepOutcome::Terminal => panic!("Lemma 18: unison must never terminate"),
+            StepOutcome::Progress { .. } => {
+                assert!(
+                    spec::safety_holds(&g, sim.states(), k),
+                    "safety violated mid-execution"
+                );
+                monitor.observe(sim.states());
+            }
+        }
+    }
+    assert!(
+        monitor.all_incremented_at_least(10),
+        "liveness: every clock should advance many times in 5000 fair steps, min = {}",
+        monitor.min_increments()
+    );
+}
+
+/// Lemma 20: standalone U started from a *non-legitimate* configuration
+/// has a frozen process, and then every process moves at most 3D times.
+#[test]
+fn standalone_unison_freezes_outside_legitimate_set() {
+    let g = generators::path(6);
+    let d = metrics::diameter(&g) as u64;
+    let unison = Unison::for_graph(&g);
+    let alg = Standalone::new(unison);
+    // Clock gap of 3 between nodes 2 and 3: not locally correct.
+    let init = vec![0u64, 0, 0, 3, 3, 3];
+    let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.7 }, 9);
+    let out = sim.run_to_termination(100_000);
+    assert!(out.terminal, "execution must be finite (Lemma 20)");
+    assert!(
+        sim.stats().max_moves_per_process() <= spec::lemma20_move_bound(d),
+        "Lemma 20: {} > 3D = {}",
+        sim.stats().max_moves_per_process(),
+        spec::lemma20_move_bound(d)
+    );
+}
+
+fn stabilization_run(
+    g: &Graph,
+    daemon: Daemon,
+    config_seed: u64,
+    daemon_seed: u64,
+) -> (u64, u64, Vec<ssr_core::Composed<u64>>) {
+    let algo = unison_sdr(Unison::for_graph(g));
+    let init = algo.arbitrary_config(g, config_seed);
+    let check = unison_sdr(Unison::for_graph(g));
+    let mut sim = Simulator::new(g, algo, init, daemon, daemon_seed);
+    let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+    assert!(out.reached, "U ∘ SDR failed to stabilize");
+    (out.rounds_at_hit, out.moves_at_hit, sim.states().to_vec())
+}
+
+/// Theorems 6 and 7 across topologies and daemons.
+#[test]
+fn stabilization_bounds_hold_across_topologies_and_daemons() {
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("ring", generators::ring(10)),
+        ("path", generators::path(10)),
+        ("star", generators::star(10)),
+        ("complete", generators::complete(8)),
+        ("tree", generators::binary_tree(10)),
+        ("grid", generators::grid(3, 3)),
+        ("random", generators::random_connected(10, 6, 77)),
+    ];
+    for (label, g) in &topologies {
+        let n = g.node_count() as u64;
+        let d = metrics::diameter(g) as u64;
+        for daemon in [
+            Daemon::Synchronous,
+            Daemon::Central,
+            Daemon::RandomSubset { p: 0.5 },
+            Daemon::PreferHighRules,
+            Daemon::LexMin,
+        ] {
+            for seed in 0..3 {
+                let (rounds, moves, _) = stabilization_run(g, daemon.clone(), seed * 13 + 1, seed);
+                assert!(
+                    rounds <= spec::theorem7_round_bound(n),
+                    "{label}/{daemon:?}: Theorem 7 violated: {rounds} > 3n = {}",
+                    spec::theorem7_round_bound(n)
+                );
+                assert!(
+                    moves <= spec::theorem6_move_bound(n, d.max(1)),
+                    "{label}/{daemon:?}: Theorem 6 violated: {moves} > bound {}",
+                    spec::theorem6_move_bound(n, d.max(1))
+                );
+            }
+        }
+    }
+}
+
+/// After stabilization the full unison specification holds: safety at
+/// every subsequent instant, and liveness.
+#[test]
+fn specification_holds_after_stabilization() {
+    let g = generators::torus(3, 3);
+    let k = Unison::for_graph(&g).period();
+    let algo = unison_sdr(Unison::for_graph(&g));
+    let init = algo.arbitrary_config(&g, 0xDEAD);
+    let check = unison_sdr(Unison::for_graph(&g));
+    let mut sim = Simulator::new(&g, algo, init, Daemon::RoundRobin, 4);
+    let out = sim.run_until(2_000_000, |gr, st| check.is_normal_config(gr, st));
+    assert!(out.reached);
+    let mut monitor = spec::LivenessMonitor::new(&clocks_of(sim.states()));
+    for _ in 0..20_000 {
+        match sim.step() {
+            StepOutcome::Terminal => panic!("unison must not terminate"),
+            StepOutcome::Progress { .. } => {
+                let clocks = clocks_of(sim.states());
+                assert!(spec::safety_holds(&g, &clocks, k), "closure of safety violated");
+                monitor.observe(&clocks);
+            }
+        }
+    }
+    assert!(
+        monitor.all_incremented_at_least(5),
+        "post-stabilization liveness: min increments = {}",
+        monitor.min_increments()
+    );
+}
+
+/// Clock-gradient workload (worst-case-style initial configuration):
+/// a maximal legal gradient plus one broken edge.
+#[test]
+fn recovers_from_clock_gradient() {
+    let n = 12usize;
+    let g = generators::path(n);
+    let algo = unison_sdr(Unison::new(n as u64 + 1));
+    // Gradient 0,1,2,…: every consecutive pair differs by exactly 1
+    // except a tear in the middle (gap 4).
+    let mut init = algo.initial_config(&g);
+    for (i, s) in init.iter_mut().enumerate() {
+        s.inner = if i < n / 2 { i as u64 } else { (i + 4) as u64 % (n as u64 + 1) };
+    }
+    let check = unison_sdr(Unison::new(n as u64 + 1));
+    let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 11);
+    let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+    assert!(out.reached);
+    assert!(out.rounds_at_hit <= 3 * n as u64);
+}
+
+/// The stabilization moves stay under the Theorem 6 curve as n grows —
+/// the measurable shape of `O(D·n²)`.
+#[test]
+fn move_growth_shape_on_rings() {
+    for n in [6u64, 12, 24] {
+        let g = generators::ring(n as usize);
+        let d = metrics::diameter(&g) as u64;
+        let (_, moves, _) = stabilization_run(&g, Daemon::RandomSubset { p: 0.5 }, n, n);
+        assert!(
+            moves <= spec::theorem6_move_bound(n, d),
+            "n = {n}: moves {moves} exceed Theorem 6 bound"
+        );
+    }
+}

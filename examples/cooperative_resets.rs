@@ -1,0 +1,79 @@
+//! Anatomy of cooperation: concurrent resets negotiating via the
+//! distance DAG.
+//!
+//! Three far-apart processes detect inconsistencies simultaneously and
+//! each roots a reset. The example tracks the set of *alive roots*
+//! (Definition 1) step by step: it only ever shrinks (Theorem 3), the
+//! execution splits into at most n+1 segments (Remark 5), and every
+//! process obeys the per-segment rule grammar of Corollary 3.
+//!
+//! Run with: `cargo run --example cooperative_resets`
+
+use ssr::core::toys::Agreement;
+use ssr::core::{alive_roots, Sdr, SegmentTracker};
+use ssr::graph::generators;
+use ssr::runtime::{Daemon, Simulator, StepOutcome};
+
+fn main() {
+    let n = 30usize;
+    let g = generators::ring(n);
+    let sdr = Sdr::new(Agreement::new(4));
+    let check = Sdr::new(Agreement::new(4));
+
+    // A clean network, except three scattered disagreeing processes.
+    let mut init = sdr.initial_config(&g);
+    for (node, value) in [(0usize, 1u32), (10, 2), (20, 3)] {
+        init[node].inner = value;
+    }
+
+    let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+    let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.35 }, 3);
+
+    println!("ring of {n}; inconsistencies at processes 0, 10, 20\n");
+    let mut last_roots = usize::MAX;
+    loop {
+        let roots = alive_roots(sim.algorithm(), sim.graph(), sim.states());
+        if roots.len() != last_roots {
+            println!(
+                "step {:>4}: {} alive root(s): {:?}",
+                sim.stats().steps,
+                roots.len(),
+                roots.iter().collect::<Vec<_>>()
+            );
+            last_roots = roots.len();
+        }
+        if check.is_normal_config(sim.graph(), sim.states()) {
+            break;
+        }
+        match sim.step() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => tracker.after_step(
+                sim.algorithm(),
+                sim.graph(),
+                sim.states(),
+                sim.last_activated(),
+            ),
+        }
+    }
+
+    let report = tracker.report();
+    println!(
+        "\nstabilized in {} rounds / {} moves",
+        sim.stats().completed_rounds + 1,
+        sim.stats().moves
+    );
+    println!(
+        "segments: {} (bound n+1 = {}); alive roots per segment: {:?}",
+        report.segments,
+        n + 1,
+        report.alive_roots_per_segment
+    );
+    assert!(report.ok(), "structural theorems violated: {:?}", report.violations);
+    println!("Theorem 3 (no root creation), Remark 5, Corollary 3: all verified ✓");
+
+    // Cooperation visible in the outcome: every process was reset by
+    // exactly one of the three concurrent resets (all values are 0 and
+    // each process executed at most one broadcast move).
+    assert!(sim.states().iter().all(|s| s.inner == 0));
+    println!("all three concurrent resets merged without overlap ✓");
+}

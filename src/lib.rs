@@ -1,0 +1,44 @@
+//! **ssr** — Self-Stabilizing Distributed Cooperative Reset.
+//!
+//! A full reproduction of *Devismes & Johnen, “Self-Stabilizing
+//! Distributed Cooperative Reset”, ICDCS 2019*: the SDR reset layer,
+//! its two instantiations (asynchronous unison and 1-minimal
+//! (f,g)-alliance), the computational model they run in, and the
+//! baselines they are compared against.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `ssr-graph` | communication graphs, generators, metrics |
+//! | [`runtime`] | `ssr-runtime` | composite-atomicity simulator, daemons, rounds/moves |
+//! | [`core`] | `ssr-core` | Algorithm SDR, `ResetInput`, composition, analysis |
+//! | [`unison`] | `ssr-unison` | Algorithm U, `U ∘ SDR`, unison spec checkers |
+//! | [`alliance`] | `ssr-alliance` | Algorithm FGA, `FGA ∘ SDR`, presets, verifiers |
+//! | [`baselines`] | `ssr-baselines` | CFG unison, mono-initiator reset |
+//!
+//! # Quickstart
+//!
+//! Recover a synchronized clock network from an arbitrary corrupted
+//! state (see `examples/quickstart.rs` for the commented version):
+//!
+//! ```
+//! use ssr::graph::generators;
+//! use ssr::runtime::{Daemon, Simulator};
+//! use ssr::unison::{unison_sdr, Unison};
+//!
+//! let g = generators::ring(10);
+//! let algo = unison_sdr(Unison::for_graph(&g));
+//! let init = algo.arbitrary_config(&g, 42); // transient-fault soup
+//! let check = unison_sdr(Unison::for_graph(&g));
+//! let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 7);
+//! let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+//! assert!(out.reached && out.rounds_at_hit <= 30); // ≤ 3n rounds
+//! ```
+
+pub use ssr_alliance as alliance;
+pub use ssr_baselines as baselines;
+pub use ssr_core as core;
+pub use ssr_graph as graph;
+pub use ssr_runtime as runtime;
+pub use ssr_unison as unison;

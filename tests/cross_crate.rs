@@ -1,0 +1,166 @@
+//! Workspace-level integration tests: full pipelines crossing every
+//! crate boundary (graph → runtime → core → instantiation → verifier).
+
+use ssr::alliance::{fga_sdr, presets, verify};
+use ssr::baselines::{CfgUnison, MonoReset};
+use ssr::graph::NodeId;
+use ssr::core::toys::Agreement;
+use ssr::core::{Sdr, SegmentTracker};
+use ssr::graph::{generators, metrics};
+use ssr::runtime::{Daemon, Simulator, StepOutcome};
+use ssr::unison::{spec, unison_sdr, Unison};
+
+#[test]
+fn full_pipeline_unison_then_faults_then_recovery() {
+    let g = generators::random_connected(20, 15, 0xF00);
+    let n = g.node_count() as u64;
+    let algo = unison_sdr(Unison::for_graph(&g));
+    let k = algo.input().period();
+    let check = unison_sdr(Unison::for_graph(&g));
+    let init = algo.arbitrary_config(&g, 0x1111);
+    let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 0x2222);
+
+    // Phase 1: stabilize from garbage.
+    let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+    assert!(out.reached && out.rounds_at_hit <= 3 * n);
+
+    // Phase 2: healthy operation window.
+    for _ in 0..2_000 {
+        sim.step();
+        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+        assert!(spec::safety_holds(&g, &clocks, k));
+    }
+
+    // Phase 3: fault burst, then recovery within the bound again.
+    let mut rng = ssr::runtime::rng::Xoshiro256StarStar::seed_from_u64(3);
+    let arbitrary = check.arbitrary_config(&g, 0x3333);
+    ssr::runtime::faults::corrupt_random(&mut sim, 7, &mut rng, |u, _| arbitrary[u.index()]);
+    sim.reset_stats();
+    let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+    assert!(out.reached && out.rounds_at_hit <= 3 * n);
+}
+
+#[test]
+fn sdr_generic_over_three_different_inputs() {
+    // The same reset layer serves agreement, unison, and alliance.
+    let g = generators::grid(4, 4);
+    let n = g.node_count() as u64;
+
+    let a = Sdr::new(Agreement::new(5));
+    let ia = a.arbitrary_config(&g, 1);
+    let ca = Sdr::new(Agreement::new(5));
+    let mut sa = Simulator::new(&g, a, ia, Daemon::Central, 1);
+    assert!(sa
+        .run_until(10_000_000, |gr, st| ca.is_normal_config(gr, st))
+        .reached);
+
+    let u = unison_sdr(Unison::for_graph(&g));
+    let iu = u.arbitrary_config(&g, 2);
+    let cu = unison_sdr(Unison::for_graph(&g));
+    let mut su = Simulator::new(&g, u, iu, Daemon::Central, 2);
+    let ou = su.run_until(10_000_000, |gr, st| cu.is_normal_config(gr, st));
+    assert!(ou.reached && ou.rounds_at_hit <= 3 * n);
+
+    let f = fga_sdr(presets::domination(&g).unwrap());
+    let fi = f.arbitrary_config(&g, 3);
+    let mut sf = Simulator::new(&g, f, fi, Daemon::Central, 3);
+    assert!(sf.run_to_termination(10_000_000).terminal);
+}
+
+#[test]
+fn segment_structure_verified_on_composed_alliance() {
+    let g = generators::random_connected(12, 8, 0xAB);
+    let fga = presets::domination(&g).unwrap();
+    let sdr = fga_sdr(fga);
+    let init = sdr.arbitrary_config(&g, 0xCD);
+    let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+    let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, 0xEF);
+    for _ in 0..2_000_000 {
+        match sim.step() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => tracker.after_step(
+                sim.algorithm(),
+                sim.graph(),
+                sim.states(),
+                sim.last_activated(),
+            ),
+        }
+    }
+    assert!(sim.is_terminal());
+    let report = tracker.report();
+    assert!(report.ok(), "{:?}", report.violations);
+    assert!(report.segments <= g.node_count() as u64 + 1);
+}
+
+#[test]
+fn three_reset_strategies_agree_on_outcome() {
+    // SDR, CFG-style local reset, and mono-initiator reset must all
+    // restore a torn unison to a safe configuration.
+    let g = generators::ring(10);
+
+    let sdr = unison_sdr(Unison::for_graph(&g));
+    let k1 = sdr.input().period();
+    let check = unison_sdr(Unison::for_graph(&g));
+    let mut init = sdr.initial_config(&g);
+    init[5].inner = 7;
+    let mut s1 = Simulator::new(&g, sdr, init, Daemon::Central, 1);
+    assert!(s1
+        .run_until(5_000_000, |gr, st| check.is_normal_config(gr, st))
+        .reached);
+    let c1: Vec<u64> = s1.states().iter().map(|s| s.inner).collect();
+    assert!(spec::safety_holds(&g, &c1, k1));
+
+    let cfg = CfgUnison::for_graph(&g);
+    let k2 = cfg.period();
+    let mut clocks = vec![0u64; 10];
+    clocks[5] = 7;
+    let mut s2 = Simulator::new(&g, cfg, clocks, Daemon::Central, 2);
+    assert!(s2
+        .run_until(5_000_000, |gr, st| spec::safety_holds(gr, st, k2))
+        .reached);
+
+    let mono = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
+    let mcheck = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
+    let mut minit = mono.initial_config(&g);
+    minit[5].inner = 7;
+    let mut s3 = Simulator::new(&g, mono, minit, Daemon::Central, 3);
+    assert!(s3
+        .run_until(5_000_000, |gr, st| mcheck.is_normal_config(gr, st))
+        .reached);
+}
+
+#[test]
+fn bounds_scale_across_sizes() {
+    for n in [6usize, 10, 14, 18] {
+        let g = generators::ring(n);
+        let d = metrics::diameter(&g).max(1) as u64;
+        let algo = unison_sdr(Unison::for_graph(&g));
+        let init = algo.arbitrary_config(&g, n as u64);
+        let check = unison_sdr(Unison::for_graph(&g));
+        let mut sim = Simulator::new(&g, algo, init, Daemon::PreferHighRules, n as u64);
+        let out = sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
+        assert!(out.reached);
+        assert!(out.rounds_at_hit <= spec::theorem7_round_bound(n as u64));
+        assert!(out.moves_at_hit <= spec::theorem6_move_bound(n as u64, d));
+    }
+}
+
+#[test]
+fn alliance_verifiers_reject_corrupted_outputs() {
+    // End-to-end negative control: flip a member off and the verifier
+    // must notice on graphs where every member matters.
+    let g = generators::ring(8);
+    let fga = presets::domination(&g).unwrap();
+    let f = fga.f().to_vec();
+    let gg = fga.g().to_vec();
+    let algo = fga_sdr(fga);
+    let init = algo.initial_config(&g);
+    let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 4);
+    assert!(sim.run_to_termination(5_000_000).terminal);
+    let mut members = verify::members(sim.states().iter().map(|s| &s.inner));
+    assert!(verify::is_one_minimal(&g, &f, &gg, &members));
+    // Remove one member: on a ring-dominating set this breaks coverage.
+    let idx = members.iter().position(|&b| b).unwrap();
+    members[idx] = false;
+    assert!(!verify::is_alliance(&g, &f, &gg, &members));
+}
