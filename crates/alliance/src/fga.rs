@@ -240,14 +240,13 @@ impl Fga {
 
     /// `realScr(u)` for an explicit membership bit (used mid-action by
     /// `rule_Clr`, whose `upd(u)` runs after `col_u := false`).
-    pub fn real_scr_with_col<V: StateView<FgaState>>(
-        &self,
-        u: NodeId,
-        view: &V,
-        col: bool,
-    ) -> i8 {
+    pub fn real_scr_with_col<V: StateView<FgaState>>(&self, u: NodeId, view: &V, col: bool) -> i8 {
         let have = self.in_all(u, view);
-        let need = if col { self.g[u.index()] } else { self.f[u.index()] };
+        let need = if col {
+            self.g[u.index()]
+        } else {
+            self.f[u.index()]
+        };
         match have.cmp(&need) {
             std::cmp::Ordering::Less => -1,
             std::cmp::Ordering::Equal => 0,
@@ -338,7 +337,12 @@ impl Fga {
         let scr = self.real_scr_with_col(u, view, col);
         let can_q = self.p_can_quit_with_col(u, view, col);
         let ptr = self.best_ptr(u, view, scr, can_q);
-        FgaState { col, scr, can_q, ptr }
+        FgaState {
+            col,
+            scr,
+            can_q,
+            ptr,
+        }
     }
 }
 
@@ -403,8 +407,7 @@ impl ResetInput for Fga {
         real >= 0
             && ((s.scr == 1 && real == 1)
                 || s.ptr.is_none()
-                || s.ptr
-                    .is_some_and(|w| s.scr == 1 && !view.state(w).col))
+                || s.ptr.is_some_and(|w| s.scr == 1 && !view.state(w).col))
     }
 
     fn p_reset(&self, _: NodeId, state: &FgaState) -> bool {

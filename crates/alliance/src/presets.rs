@@ -42,7 +42,10 @@ pub fn k_tuple_domination(graph: &Graph, k: u32) -> Result<Fga, FgaError> {
 /// Item 4 — global offensive alliance: `(f, 0)` with
 /// `f(u) = ⌈(δ_u + 1) / 2⌉`.
 pub fn global_offensive(graph: &Graph) -> Result<Fga, FgaError> {
-    let f = graph.nodes().map(|u| half_up(graph.degree(u) + 1)).collect();
+    let f = graph
+        .nodes()
+        .map(|u| half_up(graph.degree(u) + 1))
+        .collect();
     let g = vec![0; graph.node_count()];
     Fga::new(graph, f, g)
 }
@@ -54,14 +57,20 @@ pub fn global_offensive(graph: &Graph) -> Result<Fga, FgaError> {
 /// 1-minimality corner documented at the crate root.
 pub fn global_defensive(graph: &Graph) -> Result<Fga, FgaError> {
     let f = vec![1; graph.node_count()];
-    let g = graph.nodes().map(|u| half_up(graph.degree(u) + 1)).collect();
+    let g = graph
+        .nodes()
+        .map(|u| half_up(graph.degree(u) + 1))
+        .collect();
     Fga::new(graph, f, g)
 }
 
 /// Item 6 — global powerful alliance: `f(u) = ⌈(δ_u + 1) / 2⌉`,
 /// `g(u) = ⌈δ_u / 2⌉`.
 pub fn global_powerful(graph: &Graph) -> Result<Fga, FgaError> {
-    let f = graph.nodes().map(|u| half_up(graph.degree(u) + 1)).collect();
+    let f = graph
+        .nodes()
+        .map(|u| half_up(graph.degree(u) + 1))
+        .collect();
     let g = graph.nodes().map(|u| half_up(graph.degree(u))).collect();
     Fga::new(graph, f, g)
 }

@@ -277,16 +277,15 @@ mod tests {
         for _ in 0..100 {
             let set: Vec<bool> = (0..10)
                 .map(|_| {
-                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     lcg >> 63 == 1
                 })
                 .collect();
             let f1: Vec<u32> = vec![1; 10];
             let g0: Vec<u32> = vec![0; 10];
-            assert_eq!(
-                is_alliance(&g, &f1, &g0, &set),
-                is_dominating_set(&g, &set)
-            );
+            assert_eq!(is_alliance(&g, &f1, &g0, &set), is_dominating_set(&g, &set));
             let f_off: Vec<u32> = g
                 .nodes()
                 .map(|u| (g.degree(u) + 1).div_ceil(2) as u32)
@@ -317,7 +316,10 @@ mod tests {
     fn defensive_requires_domination_too() {
         let g = generators::path(4);
         // {0, 1} dominates 2 but not 3.
-        assert!(!is_global_defensive_alliance(&g, &[true, true, false, false]));
+        assert!(!is_global_defensive_alliance(
+            &g,
+            &[true, true, false, false]
+        ));
         assert!(is_global_defensive_alliance(&g, &[true, true, true, true]));
     }
 
@@ -365,6 +367,8 @@ mod tests {
         // All-in on C4 with (1,0): node 0 is removable with slack
         // (#InAll = 2 > g = 0) — NOT explained by the corner; a faithful
         // terminal configuration can never look like this.
-        assert!(!gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &[true; 4]));
+        assert!(!gap_explained_by_gslack_corner(
+            &g, &f, &gg, &ids, &[true; 4]
+        ));
     }
 }

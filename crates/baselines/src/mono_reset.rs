@@ -126,9 +126,9 @@ impl<I: ResetInput> MonoReset<I> {
     /// All processes idle with consistent input states.
     pub fn is_normal_config(&self, graph: &Graph, states: &[MonoState<I::State>]) -> bool {
         let view = ssr_runtime::ConfigView::new(graph, states);
-        graph.nodes().all(|u| {
-            states[u.index()].phase == Phase::Idle && self.p_icorrect_at(u, &view)
-        })
+        graph
+            .nodes()
+            .all(|u| states[u.index()].phase == Phase::Idle && self.p_icorrect_at(u, &view))
     }
 
     /// The designated initial configuration: idle, input at `γ_init`.
@@ -297,7 +297,10 @@ mod tests {
         corrupt_inner(&mut sim, NodeId(4), 2);
         let out = sim.run_until(100_000, |gr, st| check.is_normal_config(gr, st));
         assert!(out.reached, "mono reset must recover");
-        assert!(sim.states().iter().all(|s| s.inner == 0), "wave reset everyone");
+        assert!(
+            sim.states().iter().all(|s| s.inner == 0),
+            "wave reset everyone"
+        );
     }
 
     #[test]

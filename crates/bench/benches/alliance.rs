@@ -23,8 +23,7 @@ fn fga_standalone(c: &mut Criterion) {
                     .1;
                 let alg = Standalone::new(fga);
                 let init = alg.initial_config(&g);
-                let mut sim =
-                    Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, 3);
+                let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, 3);
                 let out = sim.run_to_termination(50_000_000);
                 assert!(out.terminal);
                 black_box(sim.stats().moves)

@@ -20,8 +20,7 @@ fn fault_recovery(c: &mut Criterion) {
                 let period = algo.input().period();
                 let check = unison_sdr(Unison::for_graph(&g));
                 let init = algo.initial_config(&g);
-                let mut sim =
-                    Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 1);
+                let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 1);
                 for _ in 0..5 * n as u64 {
                     sim.step();
                 }
@@ -33,8 +32,7 @@ fn fault_recovery(c: &mut Criterion) {
                     sim.inject(u, s);
                 }
                 sim.reset_stats();
-                let out =
-                    sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
+                let out = sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })

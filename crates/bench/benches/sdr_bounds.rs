@@ -18,8 +18,7 @@ fn sdr_recovery(c: &mut Criterion) {
                 let sdr = Sdr::new(Agreement::new(8));
                 let init = sdr.arbitrary_config(&g, 0xBE7C);
                 let check = Sdr::new(Agreement::new(8));
-                let mut sim =
-                    Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, 11);
+                let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, 11);
                 let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
@@ -48,8 +47,7 @@ fn sdr_daemons(c: &mut Criterion) {
                     let init = sdr.arbitrary_config(&g, 0xD43);
                     let check = Sdr::new(Agreement::new(8));
                     let mut sim = Simulator::new(&g, sdr, init, daemon.clone(), 7);
-                    let out =
-                        sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+                    let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
                     assert!(out.reached);
                     black_box(out.rounds_at_hit)
                 })

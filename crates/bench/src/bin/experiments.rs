@@ -1,5 +1,5 @@
-//! Prints every reproduction table (E1–E12); `EXPERIMENTS.md` records a
-//! full run of this binary.
+//! Prints every reproduction table (E1–E12, mapped to paper claims in
+//! `DESIGN.md` §3 at the repository root).
 //!
 //! Usage:
 //!
@@ -29,6 +29,10 @@ fn print_result(r: &ExpResult) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
+        eprintln!("error: unrecognized flag {bad:?} (known flags: --quick)");
+        std::process::exit(2);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let wanted: Vec<String> = args
@@ -37,26 +41,38 @@ fn main() {
         .map(|a| a.to_lowercase())
         .collect();
 
-    let selected: Vec<ExpResult> = experiments::all(profile)
+    // Filter on the catalog's ids, then run only what was selected —
+    // in the full profile an unfiltered run takes a long time.
+    let selected: Vec<_> = experiments::catalog()
         .into_iter()
-        .filter(|r| {
+        .filter(|(id, _)| {
             wanted.is_empty()
-                || r.id
+                || id
                     .to_lowercase()
                     .split('+')
                     .any(|part| wanted.iter().any(|w| w == part))
         })
         .collect();
 
+    if selected.is_empty() {
+        eprintln!("error: no experiment group matches {wanted:?} (try e1 … e12)");
+        std::process::exit(2);
+    }
+
     let mut all_pass = true;
-    for r in &selected {
-        print_result(r);
+    for (_, run) in &selected {
+        let r: ExpResult = run(profile);
+        print_result(&r);
         all_pass &= r.pass;
     }
     println!(
         "=== {} experiment group(s): {} ===",
         selected.len(),
-        if all_pass { "ALL PASS" } else { "FAILURES PRESENT" }
+        if all_pass {
+            "ALL PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
     );
     if !all_pass {
         std::process::exit(1);

@@ -2,8 +2,7 @@
 //!
 //! Each function returns an [`ExpResult`]: a markdown table with one
 //! row per configuration, a global `pass` flag (every paper bound
-//! held), and free-form notes. The `experiments` binary prints these;
-//! EXPERIMENTS.md records a full run.
+//! held), and free-form notes. The `experiments` binary prints these.
 
 use ssr_alliance::{fga_sdr, presets, verify};
 use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
@@ -22,7 +21,7 @@ use crate::workloads::{daemon_suite, topology_suite, unison_tear, unison_tear_pl
 pub enum Profile {
     /// Small sizes, few trials (seconds in debug builds).
     Quick,
-    /// The sizes recorded in EXPERIMENTS.md.
+    /// The sizes used by the release harness.
     Full,
 }
 
@@ -92,7 +91,13 @@ fn fmt_u(x: u64) -> String {
 /// spending at most `3n + 3` SDR moves.
 pub fn e1_e2_sdr_bounds(p: Profile) -> ExpResult {
     let mut table = Table::new([
-        "topology", "n", "worst rounds", "3n", "r-ratio", "worst moves/proc", "3n+3",
+        "topology",
+        "n",
+        "worst rounds",
+        "3n",
+        "r-ratio",
+        "worst moves/proc",
+        "3n+3",
     ]);
     let mut pass = true;
     for &n in &p.sizes() {
@@ -107,8 +112,7 @@ pub fn e1_e2_sdr_bounds(p: Profile) -> ExpResult {
                     let init = sdr.arbitrary_config(&g, trial * 0x9E37 + nn);
                     let check = Sdr::new(Agreement::new(8));
                     let mut sim = Simulator::new(&g, sdr, init, daemon.clone(), trial);
-                    let out =
-                        sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
+                    let out = sim.run_until(p.step_cap(), |gr, st| check.is_normal_config(gr, st));
                     pass &= out.reached;
                     worst_rounds = worst_rounds.max(out.rounds_at_hit);
                     let pp = g
@@ -148,7 +152,14 @@ pub fn e1_e2_sdr_bounds(p: Profile) -> ExpResult {
 /// E3 — Theorem 3 / Remark 5 / Corollary 3: alive roots never created,
 /// ≤ n+1 segments, per-segment rule language respected.
 pub fn e3_segments(p: Profile) -> ExpResult {
-    let mut table = Table::new(["topology", "n", "init roots", "segments", "n+1", "violations"]);
+    let mut table = Table::new([
+        "topology",
+        "n",
+        "init roots",
+        "segments",
+        "n+1",
+        "violations",
+    ]);
     let mut pass = true;
     for &n in &p.sizes() {
         for (label, g) in topology_suite(n, 0xE3 + n as u64) {
@@ -195,7 +206,14 @@ pub fn e3_segments(p: Profile) -> ExpResult {
 /// beats uncoordinated local resets on moves with a widening gap.
 pub fn e4_e5_unison(p: Profile) -> ExpResult {
     let mut table = Table::new([
-        "topology", "n", "D", "sdr rounds", "3n", "sdr moves", "T6 bound", "cfg moves",
+        "topology",
+        "n",
+        "D",
+        "sdr rounds",
+        "3n",
+        "sdr moves",
+        "T6 bound",
+        "cfg moves",
         "cfg/sdr",
     ]);
     let mut pass = true;
@@ -316,7 +334,14 @@ pub fn e6_unison_spec(p: Profile) -> ExpResult {
 /// E7 — Theorems 9/10, Corollaries 11/12: standalone FGA from γ_init.
 pub fn e7_fga_standalone(p: Profile) -> ExpResult {
     let mut table = Table::new([
-        "topology", "preset", "n", "rounds", "5n+4", "moves", "C11 bound", "1-minimal",
+        "topology",
+        "preset",
+        "n",
+        "rounds",
+        "5n+4",
+        "moves",
+        "C11 bound",
+        "1-minimal",
     ]);
     let mut pass = true;
     for &n in &p.small_sizes() {
@@ -330,8 +355,7 @@ pub fn e7_fga_standalone(p: Profile) -> ExpResult {
                 let ids = fga.ids().to_vec();
                 let alg = Standalone::new(fga);
                 let init = alg.initial_config(&g);
-                let mut sim =
-                    Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, nn);
+                let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, nn);
                 let out = sim.run_to_termination(p.step_cap());
                 pass &= out.terminal;
                 let rounds = sim.stats().completed_rounds + 1;
@@ -339,8 +363,7 @@ pub fn e7_fga_standalone(p: Profile) -> ExpResult {
                 let members = verify::members(sim.states().iter());
                 let alliance = verify::is_alliance(&g, &f, &gg, &members);
                 let one_min = verify::is_one_minimal(&g, &f, &gg, &members);
-                let corner_ok =
-                    verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members);
+                let corner_ok = verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members);
                 pass &= alliance
                     && corner_ok
                     && rounds <= verify::corollary12_round_bound(nn)
@@ -353,7 +376,11 @@ pub fn e7_fga_standalone(p: Profile) -> ExpResult {
                     fmt_u(verify::corollary12_round_bound(nn)),
                     fmt_u(moves),
                     fmt_u(verify::corollary11_move_bound(nn, m, delta)),
-                    if one_min { "yes".into() } else { "corner*".into() },
+                    if one_min {
+                        "yes".into()
+                    } else {
+                        "corner*".into()
+                    },
                 ]);
             }
         }
@@ -371,7 +398,14 @@ pub fn e7_fga_standalone(p: Profile) -> ExpResult {
 /// within the round/move bounds.
 pub fn e8_fga_sdr(p: Profile) -> ExpResult {
     let mut table = Table::new([
-        "topology", "n", "silent", "rounds", "8n+4", "moves", "T12 bound", "1-minimal",
+        "topology",
+        "n",
+        "silent",
+        "rounds",
+        "8n+4",
+        "moves",
+        "T12 bound",
+        "1-minimal",
     ]);
     let mut pass = true;
     for &n in &p.small_sizes() {
@@ -404,12 +438,20 @@ pub fn e8_fga_sdr(p: Profile) -> ExpResult {
             table.row_vec(vec![
                 label.to_string(),
                 nn.to_string(),
-                if all_silent { "yes".into() } else { "NO".into() },
+                if all_silent {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
                 fmt_u(worst_rounds),
                 fmt_u(verify::theorem14_round_bound(nn)),
                 fmt_u(worst_moves),
                 fmt_u(verify::theorem12_move_bound(nn, m, delta)),
-                if all_one_min { "yes".into() } else { "NO".into() },
+                if all_one_min {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
@@ -431,9 +473,15 @@ pub fn e9_presets(p: Profile) -> ExpResult {
     };
     let side = (n as f64).sqrt().round() as usize;
     let graphs: Vec<(&str, Graph)> = vec![
-        ("torus", ssr_graph::generators::torus(side.max(3), side.max(3))),
+        (
+            "torus",
+            ssr_graph::generators::torus(side.max(3), side.max(3)),
+        ),
         ("complete", ssr_graph::generators::complete(n)),
-        ("rand", ssr_graph::generators::random_connected(n, 2 * n, 0xE9)),
+        (
+            "rand",
+            ssr_graph::generators::random_connected(n, 2 * n, 0xE9),
+        ),
     ];
     let mut table = Table::new(["graph", "preset", "|A|", "classical ok", "1-minimal"]);
     let mut pass = true;
@@ -464,7 +512,11 @@ pub fn e9_presets(p: Profile) -> ExpResult {
                 label.to_string(),
                 members.iter().filter(|&&b| b).count().to_string(),
                 if classical { "yes".into() } else { "NO".into() },
-                if one_min { "yes".into() } else { "corner*".into() },
+                if one_min {
+                    "yes".into()
+                } else {
+                    "corner*".into()
+                },
             ]);
         }
     }
@@ -481,7 +533,14 @@ pub fn e9_presets(p: Profile) -> ExpResult {
 /// uncoordinated local resets (CFG) on tear workloads.
 pub fn e10_ablation(p: Profile) -> ExpResult {
     let mut table = Table::new([
-        "topology", "n", "gap", "sdr moves", "cfg moves", "sdr rounds", "cfg rounds", "winner",
+        "topology",
+        "n",
+        "gap",
+        "sdr moves",
+        "cfg moves",
+        "sdr rounds",
+        "cfg rounds",
+        "winner",
     ]);
     let mut pass = true;
     for &n in &p.sizes() {
@@ -567,7 +626,12 @@ pub fn e11_faults(p: Profile) -> ExpResult {
     let g = ssr_graph::generators::ring(n);
     let ks = [1usize, 2, n / 4, n / 2, n];
     let mut table = Table::new([
-        "k faults", "sdr rounds", "sdr moves", "cfg rounds", "cfg moves", "mono rounds",
+        "k faults",
+        "sdr rounds",
+        "sdr moves",
+        "cfg rounds",
+        "cfg moves",
+        "mono rounds",
         "mono moves",
     ]);
     let mut pass = true;
@@ -643,19 +707,29 @@ fn pick_victims(g: &Graph, k: usize, rng: &mut Xoshiro256StarStar) -> Vec<NodeId
     ids
 }
 
-/// Runs every experiment.
-pub fn all(p: Profile) -> Vec<ExpResult> {
+/// A catalog entry: the group's id plus the function computing it.
+pub type ExpRunner = (&'static str, fn(Profile) -> ExpResult);
+
+/// The experiment groups as `(id, runner)` pairs in presentation
+/// order, without computing anything — callers can filter by id and
+/// run only what they need.
+pub fn catalog() -> Vec<ExpRunner> {
     vec![
-        e1_e2_sdr_bounds(p),
-        e3_segments(p),
-        e4_e5_unison(p),
-        e6_unison_spec(p),
-        e7_fga_standalone(p),
-        e8_fga_sdr(p),
-        e9_presets(p),
-        e10_ablation(p),
-        e11_faults(p),
+        ("E1+E2", e1_e2_sdr_bounds),
+        ("E3", e3_segments),
+        ("E4+E5", e4_e5_unison),
+        ("E6", e6_unison_spec),
+        ("E7", e7_fga_standalone),
+        ("E8+E12", e8_fga_sdr),
+        ("E9", e9_presets),
+        ("E10", e10_ablation),
+        ("E11", e11_faults),
     ]
+}
+
+/// Runs every experiment group in catalog order.
+pub fn all(p: Profile) -> Vec<ExpResult> {
+    catalog().into_iter().map(|(_, run)| run(p)).collect()
 }
 
 #[cfg(test)]
@@ -665,54 +739,74 @@ mod tests {
     #[test]
     fn e1_e2_quick_pass() {
         let r = e1_e2_sdr_bounds(Profile::Quick);
+        assert_eq!(r.id, "E1+E2");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e3_quick_pass() {
         let r = e3_segments(Profile::Quick);
+        assert_eq!(r.id, "E3");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e4_e5_quick_pass() {
         let r = e4_e5_unison(Profile::Quick);
+        assert_eq!(r.id, "E4+E5");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e6_quick_pass() {
         let r = e6_unison_spec(Profile::Quick);
+        assert_eq!(r.id, "E6");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e7_quick_pass() {
         let r = e7_fga_standalone(Profile::Quick);
+        assert_eq!(r.id, "E7");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e8_quick_pass() {
         let r = e8_fga_sdr(Profile::Quick);
+        assert_eq!(r.id, "E8+E12");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e9_quick_pass() {
         let r = e9_presets(Profile::Quick);
+        assert_eq!(r.id, "E9");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e10_quick_pass() {
         let r = e10_ablation(Profile::Quick);
+        assert_eq!(r.id, "E10");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e11_quick_pass() {
         let r = e11_faults(Profile::Quick);
+        assert_eq!(r.id, "E11");
         assert!(r.pass, "{}", r.table);
+    }
+
+    #[test]
+    fn catalog_covers_every_group_once() {
+        // The id of each computed result is asserted by the per-group
+        // tests above; here only the (cheap) catalog structure.
+        let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            ids,
+            ["E1+E2", "E3", "E4+E5", "E6", "E7", "E8+E12", "E9", "E10", "E11"]
+        );
     }
 }

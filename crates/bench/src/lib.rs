@@ -1,10 +1,10 @@
 //! Experiment harness for the SDR reproduction.
 //!
 //! Every proven bound / comparison in the paper maps to one experiment
-//! (E1–E12, see DESIGN.md §3). The [`experiments`] module computes each
-//! table; the `experiments` binary prints them (this is what
-//! EXPERIMENTS.md records), and the criterion benches in `benches/`
-//! measure wall-clock time of the same workloads.
+//! (E1–E12, mapped to paper sections in `DESIGN.md` §3 at the
+//! repository root). The [`experiments`] module computes each table;
+//! the `experiments` binary prints them, and the criterion benches in
+//! `benches/` measure wall-clock time of the same workloads.
 //!
 //! All experiments are deterministic given their seeds and run in two
 //! profiles: `quick` (small sizes, used by `cargo test`) and full

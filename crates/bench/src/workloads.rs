@@ -74,10 +74,7 @@ pub fn sdr_broadcast_chain<I: ssr_core::ResetInput>(
         .map(|u| {
             let i = u.index();
             let status = if i + 1 == n { Status::RF } else { Status::RB };
-            Composed::new(
-                SdrState::new(status, i as u32),
-                sdr.input().reset_state(u),
-            )
+            Composed::new(SdrState::new(status, i as u32), sdr.input().reset_state(u))
         })
         .collect()
 }

@@ -236,11 +236,7 @@ pub struct SegmentTracker {
 
 impl SegmentTracker {
     /// Starts tracking from the initial configuration.
-    pub fn new<I: ResetInput>(
-        sdr: &Sdr<I>,
-        graph: &Graph,
-        states: &[Composed<I::State>],
-    ) -> Self {
+    pub fn new<I: ResetInput>(sdr: &Sdr<I>, graph: &Graph, states: &[Composed<I::State>]) -> Self {
         let alive = alive_roots(sdr, graph, states);
         let n = graph.node_count();
         SegmentTracker {
@@ -281,8 +277,9 @@ impl SegmentTracker {
         let now = alive_roots(sdr, graph, states);
         if !now.is_subset(&self.alive) {
             let created: Vec<_> = now.difference(&self.alive).collect();
-            self.violations
-                .push(format!("Theorem 3 violated: alive roots created: {created:?}"));
+            self.violations.push(format!(
+                "Theorem 3 violated: alive roots created: {created:?}"
+            ));
         }
 
         // Definition 3: segment boundary when |AR| decreases.
@@ -330,7 +327,11 @@ mod tests {
         let sdr = Sdr::new(Agreement::new(3));
         // Node 0: RB root (d=0); node 1: RB d=1 (child); node 2: clean but
         // inconsistent with nobody (all zeros) -> not a root.
-        let states = vec![mk(Status::RB, 0, 0), mk(Status::RB, 1, 0), mk(Status::C, 0, 0)];
+        let states = vec![
+            mk(Status::RB, 0, 0),
+            mk(Status::RB, 1, 0),
+            mk(Status::C, 0, 0),
+        ];
         let roots = alive_roots(&sdr, &g, &states);
         assert!(roots.contains(&NodeId(0)));
         assert!(!roots.contains(&NodeId(1)));
@@ -350,11 +351,18 @@ mod tests {
     fn reset_parent_relation() {
         let g = generators::path(3);
         let sdr = Sdr::new(Agreement::new(3));
-        let states = vec![mk(Status::RB, 0, 0), mk(Status::RB, 1, 0), mk(Status::RB, 2, 0)];
+        let states = vec![
+            mk(Status::RB, 0, 0),
+            mk(Status::RB, 1, 0),
+            mk(Status::RB, 2, 0),
+        ];
         assert_eq!(reset_parents(&sdr, &g, &states, NodeId(1)), vec![NodeId(0)]);
         assert_eq!(reset_parents(&sdr, &g, &states, NodeId(2)), vec![NodeId(1)]);
         assert!(reset_parents(&sdr, &g, &states, NodeId(0)).is_empty());
-        assert_eq!(reset_children(&sdr, &g, &states, NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(
+            reset_children(&sdr, &g, &states, NodeId(0)),
+            vec![NodeId(1)]
+        );
     }
 
     #[test]
@@ -468,7 +476,11 @@ mod tests {
 
     #[test]
     fn tracked_runs_under_adversarial_daemons() {
-        for daemon in [Daemon::PreferHighRules, Daemon::PreferLowRules, Daemon::LexMin] {
+        for daemon in [
+            Daemon::PreferHighRules,
+            Daemon::PreferLowRules,
+            Daemon::LexMin,
+        ] {
             let report = run_tracked(8, 3, daemon.clone());
             assert!(report.ok(), "{daemon:?}: {:?}", report.violations);
         }

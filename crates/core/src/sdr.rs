@@ -161,9 +161,11 @@ impl<I: ResetInput> Sdr<I> {
     /// d_v ≥ d_u)`.
     pub fn is_dead_root<V: StateView<Composed<I::State>>>(&self, u: NodeId, view: &V) -> bool {
         self.st(view, u) == Status::RF
-            && view.graph().neighbors(u).iter().all(|&v| {
-                self.st(view, v) == Status::C || self.dist(view, v) >= self.dist(view, u)
-            })
+            && view
+                .graph()
+                .neighbors(u)
+                .iter()
+                .all(|&v| self.st(view, v) == Status::C || self.dist(view, v) >= self.dist(view, u))
     }
 
     /// `RParent(v, u)` (Definition 4): `v ∈ N(u) ∧ st_u ≠ C ∧
@@ -297,9 +299,7 @@ impl<I: ResetInput> Algorithm for Sdr<I> {
             RULE_R => Composed::new(SdrState::root(), self.input.reset_state(u)),
             r => {
                 let iv = MapView::new(view, inner_of);
-                let inner = self
-                    .input
-                    .apply(u, &iv, RuleId(r.0 - SDR_RULE_COUNT as u8));
+                let inner = self.input.apply(u, &iv, RuleId(r.0 - SDR_RULE_COUNT as u8));
                 Composed::new(current.sdr, inner)
             }
         }
@@ -332,7 +332,11 @@ mod tests {
     fn p_rb_requires_c_status_and_rb_neighbor() {
         let g = generators::path(3);
         let sdr = agreement();
-        let states = cfg(vec![mk(Status::C, 0, 0), mk(Status::RB, 0, 0), mk(Status::RF, 1, 0)]);
+        let states = cfg(vec![
+            mk(Status::C, 0, 0),
+            mk(Status::RB, 0, 0),
+            mk(Status::RF, 1, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(sdr.p_rb(NodeId(0), &v));
         assert!(!sdr.p_rb(NodeId(1), &v)); // not status C
@@ -343,7 +347,11 @@ mod tests {
     fn p_clean_examines_closed_neighborhood() {
         let g = generators::path(3);
         let sdr = agreement();
-        let states = cfg(vec![mk(Status::C, 0, 0), mk(Status::C, 0, 0), mk(Status::RB, 0, 0)]);
+        let states = cfg(vec![
+            mk(Status::C, 0, 0),
+            mk(Status::C, 0, 0),
+            mk(Status::RB, 0, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(sdr.p_clean(NodeId(0), &v));
         assert!(!sdr.p_clean(NodeId(1), &v)); // neighbor 2 is RB
@@ -355,15 +363,27 @@ mod tests {
         let g = generators::path(3);
         let sdr = agreement();
         // Node 1 is RB with d=1; node 0 is RB root (d=0, ≤), node 2 is C.
-        let states = cfg(vec![mk(Status::RB, 0, 0), mk(Status::RB, 1, 0), mk(Status::C, 0, 0)]);
+        let states = cfg(vec![
+            mk(Status::RB, 0, 0),
+            mk(Status::RB, 1, 0),
+            mk(Status::C, 0, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(!sdr.p_rf(NodeId(1), &v), "a C neighbor blocks the feedback");
         // Replace node 2 with a deeper RF neighbor in reset state.
-        let states = cfg(vec![mk(Status::RB, 0, 0), mk(Status::RB, 1, 0), mk(Status::RF, 2, 0)]);
+        let states = cfg(vec![
+            mk(Status::RB, 0, 0),
+            mk(Status::RB, 1, 0),
+            mk(Status::RF, 2, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(sdr.p_rf(NodeId(1), &v));
         // A deeper RB neighbor (d_v > d_u) blocks the feedback.
-        let states = cfg(vec![mk(Status::RB, 0, 0), mk(Status::RB, 1, 0), mk(Status::RB, 2, 0)]);
+        let states = cfg(vec![
+            mk(Status::RB, 0, 0),
+            mk(Status::RB, 1, 0),
+            mk(Status::RB, 2, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(!sdr.p_rf(NodeId(1), &v));
     }
@@ -383,12 +403,20 @@ mod tests {
         let g = generators::path(3);
         let sdr = agreement();
         // Feedback done everywhere: root (d=0) may clean first.
-        let states = cfg(vec![mk(Status::RF, 0, 0), mk(Status::RF, 1, 0), mk(Status::RF, 2, 0)]);
+        let states = cfg(vec![
+            mk(Status::RF, 0, 0),
+            mk(Status::RF, 1, 0),
+            mk(Status::RF, 2, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(sdr.p_c(NodeId(0), &v));
         assert!(!sdr.p_c(NodeId(1), &v), "shallower RF neighbor blocks");
         // After the root cleans:
-        let states = cfg(vec![mk(Status::C, 0, 0), mk(Status::RF, 1, 0), mk(Status::RF, 2, 0)]);
+        let states = cfg(vec![
+            mk(Status::C, 0, 0),
+            mk(Status::RF, 1, 0),
+            mk(Status::RF, 2, 0),
+        ]);
         let v = ConfigView::new(&g, &states);
         assert!(sdr.p_c(NodeId(1), &v));
         assert!(!sdr.p_c(NodeId(2), &v));
@@ -503,8 +531,7 @@ mod tests {
                 let init = sdr.arbitrary_config(&g, seed * 31 + 7);
                 let check = Sdr::new(BoundedCounter::new(20));
                 let mut sim = Simulator::new(&g, sdr, init, daemon.clone(), seed);
-                let out =
-                    sim.run_until(200_000, |graph, st| check.is_normal_config(graph, st));
+                let out = sim.run_until(200_000, |graph, st| check.is_normal_config(graph, st));
                 assert!(
                     out.reached,
                     "did not stabilize under {daemon:?} (seed {seed})"

@@ -73,7 +73,10 @@ impl ResetInput for Agreement {
 
     fn p_icorrect<V: StateView<u32>>(&self, u: NodeId, view: &V) -> bool {
         let x = *view.state(u);
-        view.graph().neighbors(u).iter().all(|&v| *view.state(v) == x)
+        view.graph()
+            .neighbors(u)
+            .iter()
+            .all(|&v| *view.state(v) == x)
     }
 
     fn p_reset(&self, _: NodeId, state: &u32) -> bool {

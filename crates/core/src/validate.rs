@@ -45,7 +45,10 @@ impl fmt::Display for RequirementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RequirementError::ResetStateNotPReset { node } => {
-                write!(f, "requirement 2e: reset state of {node:?} does not satisfy P_reset")
+                write!(
+                    f,
+                    "requirement 2e: reset state of {node:?} does not satisfy P_reset"
+                )
             }
             RequirementError::ResetNeighborhoodNotICorrect { node } => write!(
                 f,
@@ -119,10 +122,7 @@ pub fn check_icorrect_closed_on_run<I: ResetInput + Clone>(
     let mut sim = Simulator::new(graph, standalone, init, daemon, seed);
     let holding = |sim: &Simulator<'_, Standalone<I>>| -> Vec<bool> {
         let view = sim.view();
-        graph
-            .nodes()
-            .map(|u| input.p_icorrect(u, &view))
-            .collect()
+        graph.nodes().map(|u| input.p_icorrect(u, &view)).collect()
     };
     let mut before = holding(&sim);
     for step in 0..max_steps {

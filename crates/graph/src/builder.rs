@@ -34,7 +34,10 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::ParallelEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
             GraphError::Disconnected { reachable, n } => {
-                write!(f, "graph is disconnected: only {reachable} of {n} nodes reachable")
+                write!(
+                    f,
+                    "graph is disconnected: only {reachable} of {n} nodes reachable"
+                )
             }
         }
     }
@@ -213,7 +216,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = GraphBuilder::new(4).edge(0, 1).edge(2, 3).build().unwrap_err();
+        let e = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(2, 3)
+            .build()
+            .unwrap_err();
         assert!(e.to_string().contains("disconnected"));
     }
 }

@@ -101,7 +101,10 @@ pub fn complete(n: usize) -> Graph {
 ///
 /// Panics if `a == 0` or `b == 0`.
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    assert!(a > 0 && b > 0, "complete_bipartite requires both parts nonempty");
+    assert!(
+        a > 0 && b > 0,
+        "complete_bipartite requires both parts nonempty"
+    );
     let mut g = GraphBuilder::new(a + b);
     for u in 0..a {
         for v in 0..b {

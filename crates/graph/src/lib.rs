@@ -32,8 +32,8 @@
 //! ```
 
 mod builder;
-mod graph;
 pub mod generators;
+mod graph;
 pub mod metrics;
 
 pub use builder::{GraphBuilder, GraphError};

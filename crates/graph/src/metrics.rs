@@ -31,7 +31,10 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
             }
         }
     }
-    debug_assert!(dist.iter().all(|&d| d != u32::MAX), "graph must be connected");
+    debug_assert!(
+        dist.iter().all(|&d| d != u32::MAX),
+        "graph must be connected"
+    );
     dist
 }
 

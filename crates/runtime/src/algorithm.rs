@@ -302,7 +302,9 @@ mod tests {
 
     #[test]
     fn rule_mask_with_if() {
-        let m = RuleMask::NONE.with_if(RuleId(2), false).with_if(RuleId(5), true);
+        let m = RuleMask::NONE
+            .with_if(RuleId(2), false)
+            .with_if(RuleId(5), true);
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![RuleId(5)]);
     }
 

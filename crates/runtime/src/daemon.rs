@@ -83,7 +83,10 @@ impl Daemon {
         rng: &mut Xoshiro256StarStar,
         out: &mut Vec<NodeId>,
     ) {
-        debug_assert!(!enabled.is_empty(), "daemon invoked with no enabled process");
+        debug_assert!(
+            !enabled.is_empty(),
+            "daemon invoked with no enabled process"
+        );
         out.clear();
         match self {
             Daemon::Synchronous => out.extend_from_slice(enabled),
@@ -281,7 +284,12 @@ mod tests {
         let mut cursor = 0;
         for _ in 0..50 {
             Daemon::RandomSubset { p: 0.0 }.select(
-                &enabled, &masks, &waits, &mut cursor, &mut rng, &mut out,
+                &enabled,
+                &masks,
+                &waits,
+                &mut cursor,
+                &mut rng,
+                &mut out,
             );
             assert_eq!(out.len(), 1);
         }
@@ -295,7 +303,14 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let mut out = Vec::new();
         let mut cursor = 0;
-        Daemon::Aging { patience: 8 }.select(&enabled, &masks, &waits, &mut cursor, &mut rng, &mut out);
+        Daemon::Aging { patience: 8 }.select(
+            &enabled,
+            &masks,
+            &waits,
+            &mut cursor,
+            &mut rng,
+            &mut out,
+        );
         assert!(out.contains(&NodeId(0)));
         assert!(out.contains(&NodeId(2)));
     }
@@ -332,7 +347,11 @@ mod tests {
 
     #[test]
     fn lex_min_is_deterministic() {
-        let masks = vec![RuleMask::NONE, RuleMask::from_bool(true), RuleMask::from_bool(true)];
+        let masks = vec![
+            RuleMask::NONE,
+            RuleMask::from_bool(true),
+            RuleMask::from_bool(true),
+        ];
         let (enabled, waits) = setup(&masks);
         let mut rng = Xoshiro256StarStar::seed_from_u64(8);
         let mut out = Vec::new();

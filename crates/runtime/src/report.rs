@@ -41,7 +41,8 @@ impl Table {
     /// Panics if the arity differs from the header.
     pub fn row<const N: usize>(&mut self, cells: [&str; N]) -> &mut Self {
         assert_eq!(N, self.header.len(), "row arity must match header");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -51,7 +52,11 @@ impl Table {
     ///
     /// Panics if the arity differs from the header.
     pub fn row_vec(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells);
         self
     }

@@ -546,7 +546,11 @@ mod tests {
         }
         fn enabled_mask<V: StateView<u8>>(&self, u: NodeId, view: &V) -> RuleMask {
             let all_zero = *view.state(u) == 0
-                && view.graph().neighbors(u).iter().all(|&v| *view.state(v) == 0);
+                && view
+                    .graph()
+                    .neighbors(u)
+                    .iter()
+                    .all(|&v| *view.state(v) == 0);
             RuleMask::from_bool(all_zero)
         }
         fn apply<V: StateView<u8>>(&self, _: NodeId, _: &V, _: RuleId) -> u8 {
@@ -688,7 +692,13 @@ mod tests {
         let mut init = vec![false; 24];
         init[0] = true;
         let run = |seed: u64| {
-            let mut sim = Simulator::new(&g, Flood, init.clone(), Daemon::RandomSubset { p: 0.4 }, seed);
+            let mut sim = Simulator::new(
+                &g,
+                Flood,
+                init.clone(),
+                Daemon::RandomSubset { p: 0.4 },
+                seed,
+            );
             sim.run_to_termination(10_000);
             (sim.stats().clone(), sim.states().to_vec())
         };

@@ -37,7 +37,11 @@ impl Algorithm for SawTooth {
 
     fn enabled_mask<V: StateView<u8>>(&self, u: NodeId, view: &V) -> RuleMask {
         let x = *view.state(u);
-        let strict_min = view.graph().neighbors(u).iter().all(|&v| *view.state(v) > x);
+        let strict_min = view
+            .graph()
+            .neighbors(u)
+            .iter()
+            .all(|&v| *view.state(v) > x);
         let too_high = view
             .graph()
             .neighbors(u)

@@ -67,7 +67,10 @@ fn composition_cannot_escape_an_illegal_period() {
     assert!(algo.is_normal_config(&g, &states));
     let mut sim = Simulator::new(&g, algo, states, Daemon::Central, 0);
     let out = sim.run_to_termination(1_000);
-    assert!(out.terminal && out.steps_used == 0, "stuck, by design of the counterexample");
+    assert!(
+        out.terminal && out.steps_used == 0,
+        "stuck, by design of the counterexample"
+    );
 }
 
 #[test]

@@ -133,7 +133,10 @@ fn specification_holds_after_stabilization() {
             StepOutcome::Terminal => panic!("unison must not terminate"),
             StepOutcome::Progress { .. } => {
                 let clocks = clocks_of(sim.states());
-                assert!(spec::safety_holds(&g, &clocks, k), "closure of safety violated");
+                assert!(
+                    spec::safety_holds(&g, &clocks, k),
+                    "closure of safety violated"
+                );
                 monitor.observe(&clocks);
             }
         }
@@ -156,7 +159,11 @@ fn recovers_from_clock_gradient() {
     // except a tear in the middle (gap 4).
     let mut init = algo.initial_config(&g);
     for (i, s) in init.iter_mut().enumerate() {
-        s.inner = if i < n / 2 { i as u64 } else { (i + 4) as u64 % (n as u64 + 1) };
+        s.inner = if i < n / 2 {
+            i as u64
+        } else {
+            (i + 4) as u64 % (n as u64 + 1)
+        };
     }
     let check = unison_sdr(Unison::new(n as u64 + 1));
     let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 11);

@@ -38,7 +38,9 @@ fn main() {
         let alliance = verify::is_alliance(&g, &f, &gg, &members);
         let one_min = verify::is_one_minimal(&g, &f, &gg, &members);
         // Any 1-minimality gap must be the documented g-slack corner.
-        assert!(verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members));
+        assert!(verify::gap_explained_by_gslack_corner(
+            &g, &f, &gg, &ids, &members
+        ));
         println!(
             "{label:<20} {size:>5} {:>9} {:>8} {:>11}",
             if alliance { "yes" } else { "NO" },

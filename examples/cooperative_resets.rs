@@ -68,7 +68,11 @@ fn main() {
         n + 1,
         report.alive_roots_per_segment
     );
-    assert!(report.ok(), "structural theorems violated: {:?}", report.violations);
+    assert!(
+        report.ok(),
+        "structural theorems violated: {:?}",
+        report.violations
+    );
     println!("Theorem 3 (no root creation), Remark 5, Corollary 3: all verified ✓");
 
     // Cooperation visible in the outcome: every process was reset by

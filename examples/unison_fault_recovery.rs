@@ -50,9 +50,7 @@ fn main() {
     // Transient-fault burst: corrupt 6 random processes entirely.
     let mut rng = Xoshiro256StarStar::seed_from_u64(0xFA117);
     let arbitrary = probe.arbitrary_config(&g, 0x5EED);
-    let victims = faults::corrupt_random(&mut sim, 6, &mut rng, |u, _| {
-        arbitrary[u.index()]
-    });
+    let victims = faults::corrupt_random(&mut sim, 6, &mut rng, |u, _| arbitrary[u.index()]);
     println!("faults injected at {victims:?}:");
     println!("{}", render(sim.states(), w));
     sim.reset_stats();

@@ -3,9 +3,9 @@
 
 use ssr::alliance::{fga_sdr, presets, verify};
 use ssr::baselines::{CfgUnison, MonoReset};
-use ssr::graph::NodeId;
 use ssr::core::toys::Agreement;
 use ssr::core::{Sdr, SegmentTracker};
+use ssr::graph::NodeId;
 use ssr::graph::{generators, metrics};
 use ssr::runtime::{Daemon, Simulator, StepOutcome};
 use ssr::unison::{spec, unison_sdr, Unison};
@@ -50,9 +50,10 @@ fn sdr_generic_over_three_different_inputs() {
     let ia = a.arbitrary_config(&g, 1);
     let ca = Sdr::new(Agreement::new(5));
     let mut sa = Simulator::new(&g, a, ia, Daemon::Central, 1);
-    assert!(sa
-        .run_until(10_000_000, |gr, st| ca.is_normal_config(gr, st))
-        .reached);
+    assert!(
+        sa.run_until(10_000_000, |gr, st| ca.is_normal_config(gr, st))
+            .reached
+    );
 
     let u = unison_sdr(Unison::for_graph(&g));
     let iu = u.arbitrary_config(&g, 2);
@@ -104,9 +105,10 @@ fn three_reset_strategies_agree_on_outcome() {
     let mut init = sdr.initial_config(&g);
     init[5].inner = 7;
     let mut s1 = Simulator::new(&g, sdr, init, Daemon::Central, 1);
-    assert!(s1
-        .run_until(5_000_000, |gr, st| check.is_normal_config(gr, st))
-        .reached);
+    assert!(
+        s1.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st))
+            .reached
+    );
     let c1: Vec<u64> = s1.states().iter().map(|s| s.inner).collect();
     assert!(spec::safety_holds(&g, &c1, k1));
 
@@ -115,18 +117,20 @@ fn three_reset_strategies_agree_on_outcome() {
     let mut clocks = vec![0u64; 10];
     clocks[5] = 7;
     let mut s2 = Simulator::new(&g, cfg, clocks, Daemon::Central, 2);
-    assert!(s2
-        .run_until(5_000_000, |gr, st| spec::safety_holds(gr, st, k2))
-        .reached);
+    assert!(
+        s2.run_until(5_000_000, |gr, st| spec::safety_holds(gr, st, k2))
+            .reached
+    );
 
     let mono = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
     let mcheck = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
     let mut minit = mono.initial_config(&g);
     minit[5].inner = 7;
     let mut s3 = Simulator::new(&g, mono, minit, Daemon::Central, 3);
-    assert!(s3
-        .run_until(5_000_000, |gr, st| mcheck.is_normal_config(gr, st))
-        .reached);
+    assert!(
+        s3.run_until(5_000_000, |gr, st| mcheck.is_normal_config(gr, st))
+            .reached
+    );
 }
 
 #[test]

@@ -1,0 +1,43 @@
+//! Root smoke test: the README/facade quickstart path, end to end.
+//!
+//! Build a ring, compose unison with SDR, start from an arbitrary
+//! (transient-fault) configuration, run under the *distributed* daemon,
+//! and land inside the paper's bounds.
+
+use ssr::graph::generators;
+use ssr::runtime::{Daemon, Simulator};
+use ssr::unison::{spec, unison_sdr, Unison};
+
+#[test]
+fn quickstart_ring_stabilizes_within_paper_bounds() {
+    let n = 10usize;
+    let g = generators::ring(n);
+
+    let algo = unison_sdr(Unison::for_graph(&g));
+    let k = algo.input().period();
+    assert!(k > n as u64, "Theorem 5 requires period K > n");
+
+    // Transient-fault soup: every variable of every process arbitrary.
+    let init = algo.arbitrary_config(&g, 0xBAD_5EED);
+    let check = unison_sdr(Unison::for_graph(&g));
+
+    // The distributed daemon activates arbitrary non-empty subsets of
+    // the enabled processes; RandomSubset samples such schedules.
+    let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 7);
+    let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+
+    assert!(out.reached, "U ∘ SDR must stabilize");
+    assert!(
+        out.rounds_at_hit <= 3 * n as u64,
+        "Theorem 7: ≤ 3n rounds, got {} for n = {n}",
+        out.rounds_at_hit
+    );
+
+    // After stabilization the unison specification holds and keeps
+    // holding (closure of the legitimate configurations).
+    for _ in 0..200 {
+        sim.step();
+        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+        assert!(spec::safety_holds(&g, &clocks, k));
+    }
+}

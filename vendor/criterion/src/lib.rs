@@ -1,0 +1,235 @@
+//! Offline, API-compatible subset of the [`criterion`] benchmark crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion's surface its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs its
+//! routine up to `sample_size` times (bounded by a wall-clock budget so
+//! slow benches do not stall `cargo bench`) and reports min / mean /
+//! max. Passing `--test` (as `cargo test --benches` does) or setting
+//! `SSR_BENCH_SMOKE=1` runs each routine exactly once as a smoke test.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark in normal mode.
+const PER_BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, as in the real crate.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare function id without a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var("SSR_BENCH_SMOKE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            smoke: self.smoke,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+    }
+
+    /// Benchmarks a routine without a distinguished input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, |b| f(b));
+    }
+
+    /// Ends the group. (The real crate finalizes reports here.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: if self.smoke { 1 } else { self.sample_size },
+            budget: if self.smoke {
+                Duration::MAX
+            } else {
+                PER_BENCH_BUDGET
+            },
+        };
+        f(&mut bencher);
+        let s = &bencher.samples;
+        if s.is_empty() {
+            println!(
+                "{}/{}: no samples (routine never called iter)",
+                self.name, id
+            );
+            return;
+        }
+        let min = s.iter().min().unwrap();
+        let max = s.iter().max().unwrap();
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{}/{}: [{:?} {:?} {:?}] ({} samples)",
+            self.name,
+            id,
+            min,
+            mean,
+            max,
+            s.len()
+        );
+    }
+}
+
+/// Timer handle: call [`Bencher::iter`] with the routine to measure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, stopping early when the
+    /// per-benchmark wall-clock budget runs out.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        for done in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if done + 1 < self.sample_size && started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export for code written against criterion's `black_box` (the std
+/// version is what the real crate now delegates to as well).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routine_and_records_samples() {
+        let mut c = Criterion { smoke: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // The budget cutoff may legally stop early on a starved
+        // machine, so only the upper bound is exact.
+        assert!((1..=3).contains(&calls), "calls = {calls}");
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut c = Criterion { smoke: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("f"), |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("ring", 16).to_string(), "ring/16");
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+    }
+}

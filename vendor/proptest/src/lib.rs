@@ -1,0 +1,143 @@
+//! Offline, API-compatible subset of the [`proptest`] crate.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the workspace vendors the small part of proptest's
+//! surface its test suites actually use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` inner attribute;
+//! * range strategies over the primitive integer types and `f64`
+//!   (`lo..hi`, `lo..=hi`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`ProptestConfig`] with [`ProptestConfig::with_cases`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case
+//! reports its inputs (and the deterministic per-test seed) and stops.
+//! Executions are fully deterministic: the RNG seed is derived from the
+//! test's module path and name, so failures reproduce across runs.
+//!
+//! # Test profiles
+//!
+//! Case counts are gated so `cargo test -q` stays fast (the `quick`
+//! profile convention of `ssr-bench`):
+//!
+//! * `PROPTEST_CASES=<n>` — run exactly `n` cases per property;
+//! * `SSR_TEST_PROFILE=full` — run every property at its configured
+//!   case count (the `with_cases(..)` value, default 256);
+//! * otherwise (the `quick` profile) counts are capped at
+//!   [`QUICK_PROFILE_CASE_CAP`].
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Maximum cases per property under the default `quick` profile.
+pub const QUICK_PROFILE_CASE_CAP: u32 = 16;
+
+pub use test_runner::ProptestConfig;
+
+/// The subset of `proptest::prelude` the workspace uses.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+///
+/// Without shrinking there is nothing to unwind gracefully, so this is
+/// a plain `assert!`; the surrounding harness prints the case inputs
+/// when the panic crosses it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Defines property-based tests.
+///
+/// As with the real crate, attributes are passed through unchanged, so
+/// each property **must** carry an explicit `#[test]` to be picked up
+/// by the harness (a bare `fn` compiles but never runs):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// The runnable doctest below omits `#[test]` only so it can call the
+/// generated function directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = __config.resolved_cases();
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
+            for __case in 0..__cases {
+                $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut __rng);)+
+                let mut __inputs = String::new();
+                $(
+                    __inputs.push_str(stringify!($arg));
+                    __inputs.push_str(" = ");
+                    __inputs.push_str(&format!("{:?}, ", $arg));
+                )+
+                let __guard =
+                    $crate::test_runner::CaseGuard::new(__test_name, __case, __inputs);
+                $body
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}

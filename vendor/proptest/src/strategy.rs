@@ -1,0 +1,75 @@
+//! Value-generation strategies: primitive ranges only.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of one type from a [`TestRng`].
+///
+/// The real proptest `Strategy` produces shrinkable value *trees*; this
+/// subset samples plain values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = rng.below_u128(span as u128) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let off = rng.below_u128(span as u128) as i128;
+                ((*self.start() as i128) + off) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // `start + u * span` can round up to exactly `end` when the
+        // span is small relative to the magnitude; keep the bound
+        // exclusive.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
