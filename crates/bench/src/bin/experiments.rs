@@ -1,15 +1,27 @@
 //! Prints every reproduction table (E1–E12, mapped to paper claims in
-//! `DESIGN.md` §3 at the repository root).
+//! `DESIGN.md` §3 at the repository root), running the sweeps on the
+//! `ssr-campaign` parallel engine.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p ssr-bench --bin experiments --release            # all tables
-//! cargo run -p ssr-bench --bin experiments --release -- e4      # a subset
-//! cargo run -p ssr-bench --bin experiments --release -- --quick # small sweep
+//! cargo run -p ssr-bench --bin experiments --release                 # all tables
+//! cargo run -p ssr-bench --bin experiments --release -- e4          # a subset
+//! cargo run -p ssr-bench --bin experiments --release -- --quick     # small sweep
+//! cargo run -p ssr-bench --bin experiments --release -- --list      # ids + claims
+//! cargo run -p ssr-bench --bin experiments --release -- --threads 8 # worker count
+//! cargo run -p ssr-bench --bin experiments --release -- --format json
 //! ```
+//!
+//! Results are byte-identical for any `--threads` value (the campaign
+//! engine's determinism contract). `--format json` additionally writes
+//! a `BENCH_`-style results file so performance trajectories can be
+//! tracked across checkouts: unfiltered runs write `BENCH_RESULTS.json`
+//! (the whole-sweep trajectory record), subset runs only write when an
+//! explicit `--out PATH` is given.
 
 use ssr_bench::experiments::{self, ExpResult, Profile};
+use ssr_campaign::output::Json;
 
 fn print_result(r: &ExpResult) {
     println!("## {} — {}\n", r.id, r.title);
@@ -27,53 +39,194 @@ fn print_result(r: &ExpResult) {
     );
 }
 
-fn main() {
+fn result_json(r: &ExpResult) -> Json {
+    Json::obj([
+        ("id", Json::str(r.id)),
+        ("title", Json::str(&r.title)),
+        (
+            "sizes",
+            Json::Arr(r.kpi.sizes.iter().map(|&s| Json::U64(s as u64)).collect()),
+        ),
+        ("rounds", Json::U64(r.kpi.rounds)),
+        ("moves", Json::U64(r.kpi.moves)),
+        ("bound", Json::U64(r.kpi.bound)),
+        ("verdict", Json::str(if r.pass { "pass" } else { "fail" })),
+    ])
+}
+
+struct Cli {
+    quick: bool,
+    list: bool,
+    json: bool,
+    threads: usize,
+    out: Option<String>,
+    wanted: Vec<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
-        eprintln!("error: unrecognized flag {bad:?} (known flags: --quick)");
-        std::process::exit(2);
+    let mut cli = Cli {
+        quick: false,
+        list: false,
+        json: false,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        out: None,
+        wanted: Vec::new(),
+    };
+    let mut table_format = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--list" => cli.list = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                cli.threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or_else(|| format!("invalid --threads value {v:?}"))?;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs table|json")?;
+                match v.as_str() {
+                    "table" => {
+                        cli.json = false;
+                        table_format = true;
+                    }
+                    "json" => cli.json = true,
+                    other => return Err(format!("unknown format {other:?} (table|json)")),
+                }
+            }
+            "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?),
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unrecognized flag {flag:?} (known: --quick --list --threads N \
+                     --format table|json --out PATH)"
+                ));
+            }
+            id => cli.wanted.push(id.to_lowercase()),
+        }
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    // A results path only makes sense for JSON output: imply it, but
+    // reject the contradiction `--format table --out PATH` outright.
+    if cli.out.is_some() {
+        if table_format {
+            return Err("--out requires --format json".into());
+        }
+        cli.json = true;
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if cli.list {
+        for entry in experiments::catalog() {
+            println!("{:<8} {}", entry.id, entry.claim);
+        }
+        return;
+    }
+
+    let profile = if cli.quick {
+        Profile::Quick
+    } else {
+        Profile::Full
+    };
 
     // Filter on the catalog's ids, then run only what was selected —
     // in the full profile an unfiltered run takes a long time.
     let selected: Vec<_> = experiments::catalog()
         .into_iter()
-        .filter(|(id, _)| {
-            wanted.is_empty()
-                || id
+        .filter(|entry| {
+            cli.wanted.is_empty()
+                || entry
+                    .id
                     .to_lowercase()
                     .split('+')
-                    .any(|part| wanted.iter().any(|w| w == part))
+                    .any(|part| cli.wanted.iter().any(|w| w == part))
         })
         .collect();
 
     if selected.is_empty() {
-        eprintln!("error: no experiment group matches {wanted:?} (try e1 … e12)");
+        eprintln!(
+            "error: no experiment group matches {:?} (try e1 … e12, or --list)",
+            cli.wanted
+        );
         std::process::exit(2);
     }
 
     let mut all_pass = true;
-    for (_, run) in &selected {
-        let r: ExpResult = run(profile);
-        print_result(&r);
-        all_pass &= r.pass;
-    }
-    println!(
-        "=== {} experiment group(s): {} ===",
-        selected.len(),
-        if all_pass {
-            "ALL PASS"
-        } else {
-            "FAILURES PRESENT"
+    let mut results = Vec::new();
+    for entry in &selected {
+        let r: ExpResult = (entry.run)(profile, cli.threads);
+        if !cli.json {
+            print_result(&r);
         }
-    );
+        all_pass &= r.pass;
+        results.push(r);
+    }
+
+    if cli.json {
+        let doc = Json::obj([
+            ("schema", Json::str("ssr-bench-results/v1")),
+            (
+                "profile",
+                Json::str(if cli.quick { "quick" } else { "full" }),
+            ),
+            (
+                "selection",
+                if cli.wanted.is_empty() {
+                    Json::str("all")
+                } else {
+                    Json::Arr(results.iter().map(|r| Json::str(r.id)).collect())
+                },
+            ),
+            ("all_pass", Json::Bool(all_pass)),
+            (
+                "groups",
+                Json::Arr(results.iter().map(result_json).collect()),
+            ),
+        ]);
+        let text = doc.to_string();
+        println!("{text}");
+        // The default BENCH_RESULTS.json is the trajectory record for
+        // the *whole* sweep — never clobber it with a subset run. An
+        // explicit --out always wins.
+        let out = match &cli.out {
+            Some(path) => Some(path.as_str()),
+            None if cli.wanted.is_empty() => Some("BENCH_RESULTS.json"),
+            None => None,
+        };
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(path, format!("{text}\n")) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("results written to {path}");
+        } else {
+            eprintln!("subset selection: results not written (pass --out PATH to save them)");
+        }
+    } else {
+        println!(
+            "=== {} experiment group(s): {} ===",
+            selected.len(),
+            if all_pass {
+                "ALL PASS"
+            } else {
+                "FAILURES PRESENT"
+            }
+        );
+    }
     if !all_pass {
         std::process::exit(1);
     }

@@ -2,9 +2,13 @@
 //!
 //! Every proven bound / comparison in the paper maps to one experiment
 //! (E1–E12, mapped to paper sections in `DESIGN.md` §3 at the
-//! repository root). The [`experiments`] module computes each table;
-//! the `experiments` binary prints them, and the criterion benches in
-//! `benches/` measure wall-clock time of the same workloads.
+//! repository root). Each experiment is a `ssr-campaign` scenario grid
+//! drained by the parallel batch engine — byte-identical output for
+//! any worker count — plus a fold turning the records into a table.
+//! The [`experiments`] module computes each table; the `experiments`
+//! binary prints them (`--list`, `--threads N`, `--format table|json`)
+//! and the criterion benches in `benches/` measure wall-clock time of
+//! the same workloads.
 //!
 //! All experiments are deterministic given their seeds and run in two
 //! profiles: `quick` (small sizes, used by `cargo test`) and full
@@ -13,4 +17,4 @@
 pub mod experiments;
 pub mod workloads;
 
-pub use experiments::{ExpResult, Profile};
+pub use experiments::{ExpEntry, ExpKpi, ExpResult, Profile};

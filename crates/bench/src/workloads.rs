@@ -4,6 +4,10 @@ use ssr_core::{Composed, SdrState, Status};
 use ssr_graph::{generators, Graph};
 use ssr_runtime::Daemon;
 
+// The tear workloads migrated to the campaign layer (they back its
+// `InitPlan::Tear`); re-exported here for the benches.
+pub use ssr_campaign::workloads::{unison_tear, unison_tear_plain};
+
 /// Topology families swept by the experiments (label, builder).
 pub fn topology_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
     let mut out = vec![
@@ -27,34 +31,6 @@ pub fn daemon_suite() -> Vec<Daemon> {
         Daemon::PreferHighRules,
         Daemon::LexMin,
     ]
-}
-
-/// A "clock tear" workload for unison: a maximal legal gradient with a
-/// discontinuity of `gap` in the middle — the classic locally-checkable
-/// inconsistency (all reset variables clean).
-pub fn unison_tear(graph: &Graph, period: u64, gap: u64) -> Vec<Composed<u64>> {
-    let n = graph.node_count();
-    graph
-        .nodes()
-        .map(|u| {
-            let i = u.index();
-            let clock = if i < n / 2 {
-                (i as u64) % period
-            } else {
-                (i as u64 + gap) % period
-            };
-            Composed::new(SdrState::new(Status::C, 0), clock)
-        })
-        .collect()
-}
-
-/// Plain clock vector version of [`unison_tear`] (for the CFG baseline,
-/// which has no reset variables).
-pub fn unison_tear_plain(graph: &Graph, period: u64, gap: u64) -> Vec<u64> {
-    unison_tear(graph, period, gap)
-        .into_iter()
-        .map(|c| c.inner)
-        .collect()
 }
 
 /// A hand-crafted near-worst-case SDR configuration: one long reset

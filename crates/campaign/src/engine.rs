@@ -1,0 +1,131 @@
+//! The batch execution engine: scoped worker threads draining the
+//! campaign grid through an atomic cursor.
+//!
+//! # Determinism contract
+//!
+//! Results are **byte-identical across thread counts**:
+//!
+//! 1. every scenario's seed derives from its grid *index* (not from
+//!    worker identity or pop order);
+//! 2. the runner is a pure function of the scenario;
+//! 3. results are placed back by index, so the returned vector is in
+//!    grid order regardless of which worker finished first.
+//!
+//! The property test in `tests/determinism.rs` pins this down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::grid::Campaign;
+use crate::runner::{self, ScenarioRecord};
+use crate::scenario::Scenario;
+
+/// Runs every scenario of `campaign` through `runner` on up to
+/// `threads` workers (clamped to `[1, campaign.len()]`), returning the
+/// results in grid order.
+///
+/// The runner must be a pure function of the scenario for the
+/// determinism contract to hold; it is invoked concurrently from
+/// multiple threads, hence `Sync`.
+pub fn run_with<R, F>(campaign: &Campaign, threads: usize, runner: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Scenario) -> R + Sync,
+{
+    let total = campaign.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, total);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let runner = &runner;
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        done.push((i, runner(campaign.scenario(i))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("campaign worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario index was drained"))
+        .collect()
+}
+
+/// Runs the campaign with the default runner
+/// ([`runner::run_scenario`]) and stamps the campaign id into each
+/// record.
+pub fn run(campaign: &Campaign, threads: usize) -> Vec<ScenarioRecord> {
+    let mut records = run_with(campaign, threads, runner::run_scenario);
+    for rec in &mut records {
+        rec.campaign = campaign.id().to_string();
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AlgorithmSpec, TopologySpec};
+    use ssr_runtime::Daemon;
+
+    fn tiny() -> Campaign {
+        Campaign::new("engine-test")
+            .topologies(vec![TopologySpec::Ring, TopologySpec::Star])
+            .sizes(vec![6, 8])
+            .algorithms(vec![AlgorithmSpec::SdrAgreement { domain: 4 }])
+            .daemons(vec![Daemon::Central, Daemon::Synchronous])
+            .trials(2)
+            .step_cap(500_000)
+    }
+
+    #[test]
+    fn results_are_in_grid_order() {
+        let c = tiny();
+        let records = run(&c, 3);
+        assert_eq!(records.len(), c.len());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.campaign, "engine-test");
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let c = tiny();
+        let seq = run(&c, 1);
+        for threads in [2, 4, 7] {
+            assert_eq!(seq, run(&c, threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let c = tiny();
+        assert_eq!(run(&c, 0), run(&c, 1));
+    }
+
+    #[test]
+    fn run_with_custom_runner_sees_every_scenario() {
+        let c = tiny();
+        let indices = run_with(&c, 4, |sc| sc.index);
+        assert_eq!(indices, (0..c.len()).collect::<Vec<_>>());
+    }
+}

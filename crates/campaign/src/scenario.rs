@@ -1,0 +1,419 @@
+//! Declarative scenario descriptions.
+//!
+//! A [`Scenario`] names one simulation run without executing anything:
+//! a topology spec × size, an algorithm family, a daemon, an initial
+//! configuration plan, and a derived seed. Scenarios are plain data
+//! (`Send + Sync`), so a campaign can hand them to worker threads and
+//! every worker can expand its scenario into graphs, algorithms, and
+//! simulators locally — nothing mutable is ever shared.
+
+use ssr_graph::{generators, Graph};
+use ssr_runtime::rng::splitmix64;
+use ssr_runtime::Daemon;
+
+/// Topology family, expanded into a concrete [`Graph`] on demand.
+///
+/// The first six mirror the classic experiment suite; the rest open
+/// additional families for custom sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Cycle on `max(n, 3)` nodes.
+    Ring,
+    /// Path on `n` nodes.
+    Path,
+    /// Star on `max(n, 2)` nodes.
+    Star,
+    /// Uniform random tree on `n` nodes.
+    RandTree,
+    /// Random connected graph with `n/2` extra edges beyond a tree.
+    RandSparse,
+    /// Random connected graph with `2n` extra edges beyond a tree.
+    RandDense,
+    /// Square grid with side `max(round(sqrt(n)), 2)`.
+    Grid,
+    /// Square torus with side `max(round(sqrt(n)), 3)`.
+    Torus,
+    /// Complete graph on `max(n, 2)` nodes.
+    Complete,
+    /// Hypercube of dimension `floor(log2(max(n, 2)))`.
+    Hypercube,
+    /// Clique of `max(n/2, 3)` nodes with a tail of the remainder.
+    Lollipop,
+    /// Connected Erdős–Rényi graph, edge probability `per_mille/1000`.
+    Gnp {
+        /// Edge probability in thousandths (kept integral so the spec
+        /// stays `Eq` and hashable).
+        per_mille: u32,
+    },
+}
+
+impl TopologySpec {
+    /// Short label used in records and report tables.
+    pub fn label(&self) -> String {
+        match self {
+            TopologySpec::Ring => "ring".into(),
+            TopologySpec::Path => "path".into(),
+            TopologySpec::Star => "star".into(),
+            TopologySpec::RandTree => "rand-tree".into(),
+            TopologySpec::RandSparse => "rand-sparse".into(),
+            TopologySpec::RandDense => "rand-dense".into(),
+            TopologySpec::Grid => "grid".into(),
+            TopologySpec::Torus => "torus".into(),
+            TopologySpec::Complete => "complete".into(),
+            TopologySpec::Hypercube => "hypercube".into(),
+            TopologySpec::Lollipop => "lollipop".into(),
+            TopologySpec::Gnp { per_mille } => format!("gnp({per_mille}e-3)"),
+        }
+    }
+
+    /// Builds the concrete graph for nominal size `n`.
+    ///
+    /// `seed` only matters for the random families; deterministic
+    /// topologies ignore it.
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        let side = ((n as f64).sqrt().round() as usize).max(2);
+        match self {
+            TopologySpec::Ring => generators::ring(n.max(3)),
+            TopologySpec::Path => generators::path(n.max(1)),
+            TopologySpec::Star => generators::star(n.max(2)),
+            TopologySpec::RandTree => generators::random_tree(n.max(1), seed),
+            TopologySpec::RandSparse => generators::random_connected(n.max(1), n / 2, seed),
+            TopologySpec::RandDense => generators::random_connected(n.max(1), 2 * n, seed),
+            TopologySpec::Grid => generators::grid(side, side),
+            TopologySpec::Torus => generators::torus(side.max(3), side.max(3)),
+            TopologySpec::Complete => generators::complete(n.max(2)),
+            TopologySpec::Hypercube => {
+                let mut d = 0usize;
+                while (2usize << d) <= n.max(2) {
+                    d += 1;
+                }
+                generators::hypercube(d.max(1))
+            }
+            TopologySpec::Lollipop => {
+                let clique = (n / 2).max(3);
+                generators::lollipop(clique, n.saturating_sub(clique).max(1))
+            }
+            TopologySpec::Gnp { per_mille } => {
+                generators::gnp_connected(n.max(2), *per_mille as f64 / 1000.0, seed)
+            }
+        }
+    }
+}
+
+/// One of the six §6.1 (f,g)-alliance reductions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PresetSpec {
+    /// Domination: `(1, 0)`.
+    Domination,
+    /// 2-domination: `(2, 0)`.
+    TwoDomination,
+    /// 2-tuple domination: `(2, 1)`.
+    TwoTuple,
+    /// Global offensive alliance.
+    Offensive,
+    /// Global defensive alliance.
+    Defensive,
+    /// Global powerful alliance.
+    Powerful,
+}
+
+impl PresetSpec {
+    /// All six presets in the §6.1 order.
+    pub fn all() -> [PresetSpec; 6] {
+        [
+            PresetSpec::Domination,
+            PresetSpec::TwoDomination,
+            PresetSpec::TwoTuple,
+            PresetSpec::Offensive,
+            PresetSpec::Defensive,
+            PresetSpec::Powerful,
+        ]
+    }
+
+    /// Label matching `ssr_alliance::presets::all_presets`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PresetSpec::Domination => "domination(1,0)",
+            PresetSpec::TwoDomination => "2-domination(2,0)",
+            PresetSpec::TwoTuple => "2-tuple(2,1)",
+            PresetSpec::Offensive => "offensive",
+            PresetSpec::Defensive => "defensive",
+            PresetSpec::Powerful => "powerful",
+        }
+    }
+
+    /// Instantiates the preset on `graph`, `None` when the (f,g) pair
+    /// is not valid there.
+    pub fn build(&self, graph: &Graph) -> Option<ssr_alliance::Fga> {
+        use ssr_alliance::presets;
+        match self {
+            PresetSpec::Domination => presets::domination(graph).ok(),
+            PresetSpec::TwoDomination => presets::k_domination(graph, 2).ok(),
+            PresetSpec::TwoTuple => presets::k_tuple_domination(graph, 2).ok(),
+            PresetSpec::Offensive => presets::global_offensive(graph).ok(),
+            PresetSpec::Defensive => presets::global_defensive(graph).ok(),
+            PresetSpec::Powerful => presets::global_powerful(graph).ok(),
+        }
+    }
+}
+
+/// Algorithm family swept by a campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// Pure SDR over the rule-less `Agreement` toy input.
+    SdrAgreement {
+        /// Agreement value domain.
+        domain: u32,
+    },
+    /// `U ∘ SDR` (self-stabilizing unison).
+    UnisonSdr,
+    /// The CFG-style baseline (uncoordinated local resets).
+    CfgUnison,
+    /// Mono-initiator reset over U (root = node 0).
+    MonoReset,
+    /// `FGA ∘ SDR` with one of the §6.1 presets.
+    FgaSdr {
+        /// The (f,g) reduction.
+        preset: PresetSpec,
+    },
+    /// Standalone FGA from `γ_init` with one of the §6.1 presets.
+    FgaStandalone {
+        /// The (f,g) reduction.
+        preset: PresetSpec,
+    },
+}
+
+impl AlgorithmSpec {
+    /// Short label used in records and report tables.
+    pub fn label(&self) -> String {
+        match self {
+            AlgorithmSpec::SdrAgreement { domain } => format!("sdr-agreement({domain})"),
+            AlgorithmSpec::UnisonSdr => "unison-sdr".into(),
+            AlgorithmSpec::CfgUnison => "cfg-unison".into(),
+            AlgorithmSpec::MonoReset => "mono-reset".into(),
+            AlgorithmSpec::FgaSdr { preset } => format!("fga-sdr:{}", preset.label()),
+            AlgorithmSpec::FgaStandalone { preset } => format!("fga:{}", preset.label()),
+        }
+    }
+}
+
+/// A size-relative quantity (fault count, tear gap) resolved against
+/// the actual node count at execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Amount {
+    /// A fixed value.
+    Fixed(u64),
+    /// `max(n/4, 1)`.
+    QuarterN,
+    /// `max(n/2, 1)`.
+    HalfN,
+    /// `n`.
+    N,
+}
+
+impl Amount {
+    /// Resolves against node count `n`.
+    pub fn resolve(&self, n: u64) -> u64 {
+        match self {
+            Amount::Fixed(v) => *v,
+            Amount::QuarterN => (n / 4).max(1),
+            Amount::HalfN => (n / 2).max(1),
+            Amount::N => n,
+        }
+    }
+
+    /// Symbolic label (size-independent).
+    pub fn label(&self) -> String {
+        match self {
+            Amount::Fixed(v) => v.to_string(),
+            Amount::QuarterN => "n/4".into(),
+            Amount::HalfN => "n/2".into(),
+            Amount::N => "n".into(),
+        }
+    }
+}
+
+/// How the initial configuration of a run is produced.
+///
+/// Plans that are meaningless for a given algorithm family degrade
+/// gracefully: families without an arbitrary-configuration sampler use
+/// their `γ_init`, and `Tear`/`CorruptClocks` fall back to `Arbitrary`
+/// outside the unison families (the runner documents the exact rules).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitPlan {
+    /// The algorithm's arbitrary-configuration sampler (transient-fault
+    /// soup) — the self-stabilization quantifier.
+    Arbitrary,
+    /// The algorithm's designated initial configuration (`γ_init` /
+    /// all-zero clocks).
+    Normal,
+    /// A maximal legal clock gradient with a discontinuity of `gap`
+    /// in the middle (unison families).
+    Tear {
+        /// Size of the clock discontinuity.
+        gap: Amount,
+    },
+    /// Start legitimate, let the system run briefly, then corrupt `k`
+    /// random clocks and measure recovery (unison families).
+    CorruptClocks {
+        /// Number of corrupted processes.
+        k: Amount,
+    },
+}
+
+impl InitPlan {
+    /// Short label used in records and report tables.
+    pub fn label(&self) -> String {
+        match self {
+            InitPlan::Arbitrary => "arbitrary".into(),
+            InitPlan::Normal => "normal".into(),
+            InitPlan::Tear { gap } => format!("tear({})", gap.label()),
+            InitPlan::CorruptClocks { k } => format!("corrupt({})", k.label()),
+        }
+    }
+}
+
+/// One fully-specified run: the unit of work a campaign worker drains.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Position in the campaign grid (also the determinism anchor:
+    /// the seed is derived from it, never from worker identity).
+    pub index: usize,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Nominal network size (the actual node count may differ by the
+    /// family's clamping rules, see [`TopologySpec::build`]).
+    pub n: usize,
+    /// Algorithm family.
+    pub algorithm: AlgorithmSpec,
+    /// Daemon strategy.
+    pub daemon: Daemon,
+    /// Initial-configuration plan.
+    pub init: InitPlan,
+    /// Trial number within the grid cell.
+    pub trial: u64,
+    /// Derived per-scenario master seed.
+    pub seed: u64,
+    /// Step budget for the run.
+    pub step_cap: u64,
+}
+
+impl Scenario {
+    /// Derives `K` independent sub-seeds from the scenario seed
+    /// (graph / init / simulator / faults, in whatever order the
+    /// runner assigns them).
+    pub fn seeds<const K: usize>(&self) -> [u64; K] {
+        let mut state = self.seed;
+        std::array::from_fn(|_| splitmix64(&mut state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_labels_unique() {
+        let all = [
+            TopologySpec::Ring,
+            TopologySpec::Path,
+            TopologySpec::Star,
+            TopologySpec::RandTree,
+            TopologySpec::RandSparse,
+            TopologySpec::RandDense,
+            TopologySpec::Grid,
+            TopologySpec::Torus,
+            TopologySpec::Complete,
+            TopologySpec::Hypercube,
+            TopologySpec::Lollipop,
+            TopologySpec::Gnp { per_mille: 300 },
+        ];
+        let mut labels: Vec<String> = all.iter().map(|t| t.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn builds_are_connected_and_sized() {
+        for spec in [
+            TopologySpec::Ring,
+            TopologySpec::Path,
+            TopologySpec::Star,
+            TopologySpec::RandTree,
+            TopologySpec::RandSparse,
+            TopologySpec::RandDense,
+            TopologySpec::Grid,
+            TopologySpec::Torus,
+            TopologySpec::Complete,
+            TopologySpec::Hypercube,
+            TopologySpec::Lollipop,
+            TopologySpec::Gnp { per_mille: 400 },
+        ] {
+            let g = spec.build(12, 7);
+            assert!(g.node_count() >= 2, "{spec:?} too small");
+            // Deterministic given (n, seed).
+            let h = spec.build(12, 7);
+            assert_eq!(g.node_count(), h.node_count(), "{spec:?} not deterministic");
+            assert_eq!(g.edge_count(), h.edge_count(), "{spec:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn hypercube_dimension_is_floor_log2() {
+        // n = 12 → dimension 3 → 8 nodes.
+        let g = TopologySpec::Hypercube.build(12, 0);
+        assert_eq!(g.node_count(), 8);
+        let g = TopologySpec::Hypercube.build(16, 0);
+        assert_eq!(g.node_count(), 16);
+    }
+
+    #[test]
+    fn amounts_resolve() {
+        assert_eq!(Amount::Fixed(3).resolve(100), 3);
+        assert_eq!(Amount::QuarterN.resolve(12), 3);
+        assert_eq!(Amount::HalfN.resolve(12), 6);
+        assert_eq!(Amount::N.resolve(12), 12);
+        assert_eq!(Amount::QuarterN.resolve(1), 1, "clamped to ≥ 1");
+    }
+
+    #[test]
+    fn preset_labels_match_alliance_presets() {
+        let g = generators::ring(8);
+        let from_presets: Vec<&str> = ssr_alliance::presets::all_presets(&g)
+            .into_iter()
+            .map(|(label, _)| label)
+            .collect();
+        for spec in PresetSpec::all() {
+            if spec.build(&g).is_some() {
+                assert!(
+                    from_presets.contains(&spec.label()),
+                    "label {:?} unknown to all_presets",
+                    spec.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seed_derivation_is_stable() {
+        let sc = Scenario {
+            index: 5,
+            topology: TopologySpec::Ring,
+            n: 8,
+            algorithm: AlgorithmSpec::UnisonSdr,
+            daemon: Daemon::Central,
+            init: InitPlan::Arbitrary,
+            trial: 0,
+            seed: 42,
+            step_cap: 1000,
+        };
+        let a: [u64; 4] = sc.seeds();
+        let b: [u64; 4] = sc.seeds();
+        assert_eq!(a, b);
+        let mut dedup = a.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "sub-seeds must be distinct");
+    }
+}

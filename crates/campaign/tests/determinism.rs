@@ -1,0 +1,88 @@
+//! The engine's determinism contract: running any campaign with 1
+//! thread and with 4 threads yields identical serialized results.
+
+use proptest::prelude::*;
+use ssr_campaign::{engine, output, AlgorithmSpec, Amount, Campaign, InitPlan, TopologySpec};
+use ssr_runtime::Daemon;
+
+proptest! {
+    /// Serialized campaign results are byte-identical across thread
+    /// counts, for random quick grids over mixed families/inits.
+    #[test]
+    fn one_thread_equals_four_threads(
+        master_seed in 0u64..10_000,
+        trials in 1u64..3,
+        size in 5usize..9,
+        daemon_pick in 0usize..3,
+        init_pick in 0usize..3,
+    ) {
+        let daemons = match daemon_pick {
+            0 => vec![Daemon::Central],
+            1 => vec![Daemon::Synchronous, Daemon::Central],
+            _ => vec![Daemon::RandomSubset { p: 0.5 }],
+        };
+        let inits = match init_pick {
+            0 => vec![InitPlan::Arbitrary],
+            1 => vec![InitPlan::Arbitrary, InitPlan::Normal],
+            _ => vec![InitPlan::Tear { gap: Amount::HalfN }],
+        };
+        let campaign = Campaign::new("prop-determinism")
+            .topologies(vec![TopologySpec::Ring, TopologySpec::RandTree])
+            .sizes(vec![size])
+            .algorithms(vec![
+                AlgorithmSpec::SdrAgreement { domain: 4 },
+                AlgorithmSpec::UnisonSdr,
+            ])
+            .daemons(daemons)
+            .inits(inits)
+            .trials(trials)
+            .step_cap(500_000)
+            .seed(master_seed);
+        let sequential = engine::run(&campaign, 1);
+        let parallel = engine::run(&campaign, 4);
+        prop_assert_eq!(&sequential, &parallel);
+        prop_assert_eq!(output::jsonl(&sequential), output::jsonl(&parallel));
+        prop_assert_eq!(output::csv(&sequential), output::csv(&parallel));
+    }
+}
+
+/// A fixed heavier grid (all families, fault plans, adversarial
+/// daemons) once — the deterministic anchor for the property above.
+#[test]
+fn mixed_family_grid_is_thread_invariant() {
+    let campaign = Campaign::new("anchor")
+        .topologies(vec![
+            TopologySpec::Ring,
+            TopologySpec::Star,
+            TopologySpec::RandSparse,
+        ])
+        .sizes(vec![6, 9])
+        .algorithms(vec![
+            AlgorithmSpec::UnisonSdr,
+            AlgorithmSpec::CfgUnison,
+            AlgorithmSpec::MonoReset,
+            AlgorithmSpec::FgaSdr {
+                preset: ssr_campaign::PresetSpec::Domination,
+            },
+        ])
+        .daemons(vec![Daemon::Central, Daemon::RandomSubset { p: 0.3 }])
+        .inits(vec![
+            InitPlan::Arbitrary,
+            InitPlan::CorruptClocks {
+                k: Amount::QuarterN,
+            },
+        ])
+        .trials(1)
+        .step_cap(2_000_000)
+        .seed(0xA11CE);
+    let sequential = engine::run(&campaign, 1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            output::jsonl(&sequential),
+            output::jsonl(&engine::run(&campaign, threads)),
+            "threads={threads}"
+        );
+    }
+    // And the sweep is sound: nothing failed its bound.
+    assert!(sequential.iter().all(|r| r.verdict.ok()));
+}

@@ -22,6 +22,17 @@
 //! executions, so measured times are existential lower bounds that the
 //! paper's universal upper bounds must dominate.
 //!
+//! # Threading contract
+//!
+//! The batch layers above this crate (`ssr-campaign`) run one
+//! simulator per worker thread. Everything needed for that is `Send`
+//! by construction and pinned by tests: [`Daemon`], [`RunStats`],
+//! [`RunOutcome`], and [`Simulator`] itself whenever the algorithm and
+//! its state are `Send`. A `Simulator` is single-threaded internally —
+//! parallelism in this workspace is always *across* runs, never within
+//! one, which is what keeps executions deterministic given their
+//! seeds.
+//!
 //! # Examples
 //!
 //! ```

@@ -686,6 +686,24 @@ mod tests {
         assert_eq!(sim.stats().steps, 0);
     }
 
+    /// The threading contract (see the crate docs): batch layers put
+    /// one simulator on each worker thread, so these bounds must never
+    /// regress. Compile-time only.
+    #[test]
+    fn threading_contract_bounds_hold() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Daemon>();
+        assert_sync::<Daemon>();
+        assert_send::<RunStats>();
+        assert_sync::<RunStats>();
+        assert_send::<RunOutcome>();
+        assert_send::<crate::rng::Xoshiro256StarStar>();
+        // Simulator<A> is Send whenever A and A::State are.
+        assert_send::<Simulator<'static, Flood>>();
+        assert_send::<Simulator<'static, ZeroBreaker>>();
+    }
+
     #[test]
     fn deterministic_given_seed() {
         let g = generators::random_connected(24, 12, 9);

@@ -16,6 +16,7 @@
 //! | [`unison`] | `ssr-unison` | Algorithm U, `U ∘ SDR`, unison spec checkers |
 //! | [`alliance`] | `ssr-alliance` | Algorithm FGA, `FGA ∘ SDR`, presets, verifiers |
 //! | [`baselines`] | `ssr-baselines` | CFG unison, mono-initiator reset |
+//! | [`campaign`] | `ssr-campaign` | scenario campaigns, parallel batch engine, JSONL/CSV results |
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@
 
 pub use ssr_alliance as alliance;
 pub use ssr_baselines as baselines;
+pub use ssr_campaign as campaign;
 pub use ssr_core as core;
 pub use ssr_graph as graph;
 pub use ssr_runtime as runtime;
