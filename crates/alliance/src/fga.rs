@@ -600,7 +600,7 @@ mod tests {
         let alg = ssr_core::Standalone::new(fga);
         let init = alg.initial_config(&g);
         let mut sim = Simulator::new(&g, alg, init, Daemon::Central, 1);
-        let out = sim.run_to_termination(1_000);
+        let out = sim.execution().cap(1_000).run();
         assert!(out.terminal);
         assert!(!sim.states()[0].col, "min id leaves");
         assert!(sim.states()[1].col);

@@ -52,7 +52,7 @@
 //! let algo = fga_sdr(fga.clone());
 //! let init = algo.arbitrary_config(&g, 99);
 //! let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 7);
-//! let out = sim.run_to_termination(10_000_000);
+//! let out = sim.execution().cap(10_000_000).run();
 //! assert!(out.terminal, "FGA ∘ SDR is silent");
 //! let members = verify::members(sim.states().iter().map(|s| &s.inner));
 //! assert!(verify::is_alliance(&g, fga.f(), fga.g(), &members));

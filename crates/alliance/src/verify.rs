@@ -5,9 +5,11 @@
 //! a bug in [`crate::Fga`] cannot hide behind a matching bug in its
 //! checker.
 
+use ssr_core::Standalone;
 use ssr_graph::{Graph, NodeId};
+use ssr_runtime::{Observer, RunOutcome, Simulator};
 
-use crate::fga::FgaState;
+use crate::fga::{Fga, FgaSdr, FgaState};
 
 /// Extracts the membership vector (`col` bits) from FGA states.
 pub fn members<'a, I: IntoIterator<Item = &'a FgaState>>(states: I) -> Vec<bool> {
@@ -195,6 +197,105 @@ pub fn is_global_powerful_alliance(graph: &Graph, set: &[bool]) -> bool {
             have >= (graph.degree(u) + 1).div_ceil(2) as u32
         }
     })
+}
+
+/// What [`AllianceObserver`] found in the final configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllianceVerdict {
+    /// Membership vector of the final configuration.
+    pub members: Vec<bool>,
+    /// Whether the set is an (f,g)-alliance.
+    pub alliance: bool,
+    /// Whether the set is 1-minimal.
+    pub one_minimal: bool,
+    /// Whether any 1-minimality gap is explained by the zero-g-slack
+    /// corner (see [`gap_explained_by_gslack_corner`]).
+    pub corner_ok: bool,
+}
+
+impl AllianceVerdict {
+    /// Number of members in the set.
+    pub fn member_count(&self) -> usize {
+        self.members.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Verification sampling as a plug-in [`Observer`]: attach it to an
+/// execution of standalone FGA or `FGA ∘ SDR` and it checks the final
+/// configuration against the definition-level verifiers when the run
+/// ends — whatever the termination reason.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_alliance::{presets, verify::AllianceObserver};
+/// use ssr_core::Standalone;
+/// use ssr_graph::generators;
+/// use ssr_runtime::{Daemon, Simulator};
+///
+/// let g = generators::random_connected(10, 6, 3);
+/// let fga = presets::domination(&g)?;
+/// let mut probe = AllianceObserver::new(&fga);
+/// let alg = Standalone::new(fga);
+/// let init = alg.initial_config(&g);
+/// let mut sim = Simulator::new(&g, alg, init, Daemon::Central, 7);
+/// let out = sim.execution().cap(10_000_000).observe(&mut probe).run();
+/// assert!(out.terminal);
+/// let verdict = probe.verdict().expect("sampled at run end");
+/// assert!(verdict.alliance && verdict.one_minimal);
+/// # Ok::<(), ssr_alliance::FgaError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AllianceObserver {
+    f: Vec<u32>,
+    g: Vec<u32>,
+    ids: Vec<u64>,
+    verdict: Option<AllianceVerdict>,
+}
+
+impl AllianceObserver {
+    /// Builds a verifier for `fga`'s (f,g) pair and identifiers.
+    pub fn new(fga: &Fga) -> Self {
+        AllianceObserver {
+            f: fga.f().to_vec(),
+            g: fga.g().to_vec(),
+            ids: fga.ids().to_vec(),
+            verdict: None,
+        }
+    }
+
+    /// The verdict sampled at run end (`None` before the first run).
+    pub fn verdict(&self) -> Option<&AllianceVerdict> {
+        self.verdict.as_ref()
+    }
+
+    /// Consumes the observer, yielding the verdict.
+    pub fn into_verdict(self) -> Option<AllianceVerdict> {
+        self.verdict
+    }
+
+    fn sample(&mut self, graph: &Graph, members: Vec<bool>) {
+        self.verdict = Some(AllianceVerdict {
+            alliance: is_alliance(graph, &self.f, &self.g, &members),
+            one_minimal: is_one_minimal(graph, &self.f, &self.g, &members),
+            corner_ok: gap_explained_by_gslack_corner(graph, &self.f, &self.g, &self.ids, &members),
+            members,
+        });
+    }
+}
+
+impl Observer<Standalone<Fga>> for AllianceObserver {
+    fn on_run_end(&mut self, sim: &Simulator<'_, Standalone<Fga>>, _outcome: &RunOutcome) {
+        let set = members(sim.states().iter());
+        self.sample(sim.graph(), set);
+    }
+}
+
+impl Observer<FgaSdr> for AllianceObserver {
+    fn on_run_end(&mut self, sim: &Simulator<'_, FgaSdr>, _outcome: &RunOutcome) {
+        let set = members(sim.states().iter().map(|s| &s.inner));
+        self.sample(sim.graph(), set);
+    }
 }
 
 // ---- the paper's bounds in closed form ----

@@ -16,7 +16,7 @@ fn run_standalone(g: &Graph, fga: Fga, daemon: Daemon, seed: u64) -> (Vec<bool>,
     let alg = Standalone::new(fga);
     let init = alg.initial_config(g);
     let mut sim = Simulator::new(g, alg, init, daemon, seed);
-    let out = sim.run_to_termination(50_000_000);
+    let out = sim.execution().cap(50_000_000).run();
     assert!(out.terminal, "FGA must terminate (Theorem 9)");
     let members = verify::members(sim.states().iter());
     (
@@ -103,7 +103,7 @@ fn composed_fga_sdr_is_silent_self_stabilizing() {
             let algo = fga_sdr(fga);
             let init = algo.arbitrary_config(&g, seed * 71 + 3);
             let mut sim = Simulator::new(&g, algo, init, daemon.clone(), seed);
-            let out = sim.run_to_termination(50_000_000);
+            let out = sim.execution().cap(50_000_000).run();
             assert!(out.terminal, "silence (Theorem 12) under {daemon:?}");
             assert!(
                 sim.stats().moves <= verify::theorem12_move_bound(n, m, delta),
@@ -249,7 +249,7 @@ fn random_fg_functions_through_composition() {
         let algo = fga_sdr(fga);
         let init = algo.arbitrary_config(&g, trial * 7 + 1);
         let mut sim = Simulator::new(&g, algo, init, Daemon::Central, trial);
-        let out = sim.run_to_termination(50_000_000);
+        let out = sim.execution().cap(50_000_000).run();
         assert!(out.terminal);
         let members = verify::members(sim.states().iter().map(|s| &s.inner));
         assert!(

@@ -27,7 +27,7 @@ fn run_fga(g: &Graph, fga: Fga) -> Vec<bool> {
     let alg = Standalone::new(fga);
     let init = alg.initial_config(g);
     let mut sim = Simulator::new(g, alg, init, Daemon::Central, 5);
-    assert!(sim.run_to_termination(5_000_000).terminal);
+    assert!(sim.execution().cap(5_000_000).run().terminal);
     verify::members(sim.states().iter())
 }
 

@@ -76,7 +76,7 @@ proptest! {
         let alg = Standalone::new(fga);
         let init = alg.initial_config(&g);
         let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, dseed);
-        let out = sim.run_to_termination(5_000_000);
+        let out = sim.execution().cap(5_000_000).run();
         prop_assert!(out.terminal);
         let members = verify::members(sim.states().iter());
         prop_assert!(verify::is_alliance(&g, &f, &gg, &members));
@@ -99,7 +99,7 @@ proptest! {
         let algo = fga_sdr(fga);
         let init = algo.arbitrary_config(&g, cseed);
         let mut sim = Simulator::new(&g, algo, init, Daemon::Central, cseed);
-        let out = sim.run_to_termination(5_000_000);
+        let out = sim.execution().cap(5_000_000).run();
         prop_assert!(out.terminal, "silence violated");
         let members = verify::members(sim.states().iter().map(|s| &s.inner));
         prop_assert!(verify::is_alliance(&g, &f, &gg, &members));

@@ -142,7 +142,11 @@ mod tests {
             let k = algo.period();
             let init = algo.arbitrary_config(&g, seed);
             let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, seed);
-            let out = sim.run_until(2_000_000, |gr, st| spec::safety_holds(gr, st, k));
+            let out = sim
+                .execution()
+                .cap(2_000_000)
+                .until(|gr, st| spec::safety_holds(gr, st, k))
+                .run();
             assert!(out.reached, "seed {seed}: CFG unison failed to stabilize");
         }
     }
@@ -154,7 +158,11 @@ mod tests {
         let k = algo.period();
         let init = algo.arbitrary_config(&g, 5);
         let mut sim = Simulator::new(&g, algo, init, Daemon::RoundRobin, 1);
-        let out = sim.run_until(2_000_000, |gr, st| spec::safety_holds(gr, st, k));
+        let out = sim
+            .execution()
+            .cap(2_000_000)
+            .until(|gr, st| spec::safety_holds(gr, st, k))
+            .run();
         assert!(out.reached);
         let mut monitor = spec::LivenessMonitor::new(sim.states());
         for _ in 0..10_000 {

@@ -31,7 +31,7 @@
 //! let k = algo.period();
 //! let init = algo.arbitrary_config(&g, 7);
 //! let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 3);
-//! let out = sim.run_until(1_000_000, |gr, st| spec::safety_holds(gr, st, k));
+//! let out = sim.execution().cap(1_000_000).until(|gr, st| spec::safety_holds(gr, st, k)).run();
 //! assert!(out.reached, "CFG unison stabilizes");
 //! ```
 

@@ -295,7 +295,11 @@ mod tests {
         let mut sim = Simulator::new(&g, mono, init, Daemon::RandomSubset { p: 0.7 }, 3);
         assert!(sim.is_terminal(), "agreement + idle = nothing to do");
         corrupt_inner(&mut sim, NodeId(4), 2);
-        let out = sim.run_until(100_000, |gr, st| check.is_normal_config(gr, st));
+        let out = sim
+            .execution()
+            .cap(100_000)
+            .until(|gr, st| check.is_normal_config(gr, st))
+            .run();
         assert!(out.reached, "mono reset must recover");
         assert!(
             sim.states().iter().all(|s| s.inner == 0),
@@ -336,7 +340,7 @@ mod tests {
         let mut s = *sim.state(NodeId(3));
         s.inner = 3;
         sim.inject(NodeId(3), s);
-        let out = sim.run_to_termination(200_000);
+        let out = sim.execution().cap(200_000).run();
         assert!(out.terminal);
         // Terminal = all counters at the cap (they restarted from 0).
         assert!(sim.states().iter().all(|s| s.inner == 4));
@@ -349,7 +353,7 @@ mod tests {
         let mono = MonoReset::new(&g, BoundedCounter::new(3), NodeId(4));
         let init = mono.initial_config(&g);
         let mut sim = Simulator::new(&g, mono, init, Daemon::Synchronous, 0);
-        sim.run_to_termination(10_000);
+        sim.execution().cap(10_000).run();
         for rule in [RULE_REQ, RULE_START, RULE_RBCAST] {
             assert_eq!(sim.stats().moves_per_rule[rule.index()], 0);
         }

@@ -26,7 +26,11 @@ fn tear_repair(c: &mut Criterion) {
                 let init = unison_tear(&g, k, n as u64 / 2);
                 let check = unison_sdr(Unison::for_graph(&g));
                 let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 5);
-                let out = sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
+                let out = sim
+                    .execution()
+                    .cap(50_000_000)
+                    .until(|gr, st| check.is_normal_config(gr, st))
+                    .run();
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })
@@ -37,7 +41,11 @@ fn tear_repair(c: &mut Criterion) {
                 let k = algo.period();
                 let init = unison_tear_plain(&g, k, n as u64 / 2);
                 let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 5);
-                let out = sim.run_until(50_000_000, |gr, st| spec::safety_holds(gr, st, k));
+                let out = sim
+                    .execution()
+                    .cap(50_000_000)
+                    .until(|gr, st| spec::safety_holds(gr, st, k))
+                    .run();
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })

@@ -24,7 +24,7 @@ fn fga_standalone(c: &mut Criterion) {
                 let alg = Standalone::new(fga);
                 let init = alg.initial_config(&g);
                 let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.5 }, 3);
-                let out = sim.run_to_termination(50_000_000);
+                let out = sim.execution().cap(50_000_000).run();
                 assert!(out.terminal);
                 black_box(sim.stats().moves)
             })
@@ -44,7 +44,7 @@ fn fga_sdr_stabilization(c: &mut Criterion) {
                 let algo = fga_sdr(fga);
                 let init = algo.arbitrary_config(&g, 0xFEED);
                 let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 7);
-                let out = sim.run_to_termination(100_000_000);
+                let out = sim.execution().cap(100_000_000).run();
                 assert!(out.terminal);
                 black_box(sim.stats().moves)
             })

@@ -1,0 +1,99 @@
+//! Micro-bench: the `Execution` path with a no-op observer vs the raw
+//! `sim.step()` loop — the redesign's zero-cost claim.
+//!
+//! Both sides run the identical workload (standalone FGA domination on
+//! a fixed random graph, driven to termination), so any gap is pure
+//! harness overhead. Besides the criterion groups, `main` runs an
+//! explicit check asserting the `Execution` path stays within a small
+//! factor of the raw loop — a tripwire for gross regressions, with
+//! enough slack to stay robust on noisy machines.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ssr_alliance::presets;
+use ssr_core::Standalone;
+use ssr_graph::{generators, Graph};
+use ssr_runtime::{Daemon, Simulator, StepOutcome};
+
+const CAP: u64 = 1_000_000;
+
+fn workload() -> (Graph, ssr_alliance::Fga) {
+    let g = generators::random_connected(64, 48, 9);
+    let fga = presets::domination(&g).expect("domination is always valid");
+    (g, fga)
+}
+
+fn raw_loop(g: &Graph, fga: &ssr_alliance::Fga) -> u64 {
+    let alg = Standalone::new(fga.clone());
+    let init = alg.initial_config(g);
+    let mut sim = Simulator::new(g, alg, init, Daemon::Central, 7);
+    let mut steps = 0u64;
+    while steps < CAP {
+        match sim.step() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => steps += 1,
+        }
+    }
+    sim.stats().moves
+}
+
+fn execution_noop(g: &Graph, fga: &ssr_alliance::Fga) -> u64 {
+    let alg = Standalone::new(fga.clone());
+    let init = alg.initial_config(g);
+    let mut sim = Simulator::new(g, alg, init, Daemon::Central, 7);
+    sim.execution().cap(CAP).run();
+    sim.stats().moves
+}
+
+fn bench_exec_overhead(c: &mut Criterion) {
+    let (g, fga) = workload();
+    let mut group = c.benchmark_group("exec_overhead");
+    group.sample_size(30);
+    group.bench_function(BenchmarkId::from_parameter("raw-step-loop"), |b| {
+        b.iter(|| raw_loop(&g, &fga))
+    });
+    group.bench_function(
+        BenchmarkId::from_parameter("execution-noop-observer"),
+        |b| b.iter(|| execution_noop(&g, &fga)),
+    );
+    group.finish();
+}
+
+/// Times both paths directly and asserts the no-op-observer execution
+/// is not measurably slower than the raw loop (generous 1.5× tripwire
+/// over medians; the two should be within noise of each other).
+fn overhead_check() {
+    let (g, fga) = workload();
+    assert_eq!(raw_loop(&g, &fga), execution_noop(&g, &fga));
+    let medianize = |f: &dyn Fn() -> u64| {
+        let mut samples: Vec<u128> = (0..15)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    // Warm both paths once, then interleave-measure.
+    raw_loop(&g, &fga);
+    execution_noop(&g, &fga);
+    let raw = medianize(&|| raw_loop(&g, &fga));
+    let exec = medianize(&|| execution_noop(&g, &fga));
+    let ratio = exec as f64 / raw as f64;
+    println!("exec_overhead/check: raw {raw}ns, execution {exec}ns, ratio {ratio:.3}");
+    assert!(
+        ratio < 1.5,
+        "no-op-observer Execution must not add measurable overhead \
+         (raw {raw}ns vs execution {exec}ns, ratio {ratio:.3})"
+    );
+}
+
+criterion_group!(benches, bench_exec_overhead);
+
+fn main() {
+    benches();
+    overhead_check();
+}

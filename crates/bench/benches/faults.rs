@@ -21,9 +21,7 @@ fn fault_recovery(c: &mut Criterion) {
                 let check = unison_sdr(Unison::for_graph(&g));
                 let init = algo.initial_config(&g);
                 let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 1);
-                for _ in 0..5 * n as u64 {
-                    sim.step();
-                }
+                sim.execution().cap(5 * n as u64).run();
                 let mut rng = Xoshiro256StarStar::seed_from_u64(k as u64);
                 let victims: Vec<_> = g.nodes().take(k).collect();
                 for u in victims {
@@ -32,7 +30,11 @@ fn fault_recovery(c: &mut Criterion) {
                     sim.inject(u, s);
                 }
                 sim.reset_stats();
-                let out = sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
+                let out = sim
+                    .execution()
+                    .cap(50_000_000)
+                    .until(|gr, st| check.is_normal_config(gr, st))
+                    .run();
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })

@@ -19,7 +19,11 @@ fn sdr_recovery(c: &mut Criterion) {
                 let init = sdr.arbitrary_config(&g, 0xBE7C);
                 let check = Sdr::new(Agreement::new(8));
                 let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, 11);
-                let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+                let out = sim
+                    .execution()
+                    .cap(10_000_000)
+                    .until(|gr, st| check.is_normal_config(gr, st))
+                    .run();
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })
@@ -47,7 +51,11 @@ fn sdr_daemons(c: &mut Criterion) {
                     let init = sdr.arbitrary_config(&g, 0xD43);
                     let check = Sdr::new(Agreement::new(8));
                     let mut sim = Simulator::new(&g, sdr, init, daemon.clone(), 7);
-                    let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+                    let out = sim
+                        .execution()
+                        .cap(10_000_000)
+                        .until(|gr, st| check.is_normal_config(gr, st))
+                        .run();
                     assert!(out.reached);
                     black_box(out.rounds_at_hit)
                 })

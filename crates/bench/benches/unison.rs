@@ -20,7 +20,11 @@ fn unison_sdr_stabilization(c: &mut Criterion) {
                 let init = algo.arbitrary_config(&g, 0xE45);
                 let check = unison_sdr(Unison::for_graph(&g));
                 let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 5);
-                let out = sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
+                let out = sim
+                    .execution()
+                    .cap(50_000_000)
+                    .until(|gr, st| check.is_normal_config(gr, st))
+                    .run();
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })
@@ -40,7 +44,11 @@ fn unison_cfg_stabilization(c: &mut Criterion) {
                 let k = algo.period();
                 let init = algo.arbitrary_config(&g, 0xE45);
                 let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 5);
-                let out = sim.run_until(50_000_000, |gr, st| spec::safety_holds(gr, st, k));
+                let out = sim
+                    .execution()
+                    .cap(50_000_000)
+                    .until(|gr, st| spec::safety_holds(gr, st, k))
+                    .run();
                 assert!(out.reached);
                 black_box(out.moves_at_hit)
             })

@@ -1,5 +1,7 @@
 //! The experiment implementations (E1–E12 of DESIGN.md §3), expressed
-//! as [`Campaign`] definitions over the `ssr-campaign` engine.
+//! as [`Campaign`] definitions over the `ssr-campaign` engine, with
+//! every trajectory probe attached as an `ssr_runtime::Observer` — no
+//! experiment owns a stepping loop.
 //!
 //! Each experiment builds a declarative scenario grid, drains it on
 //! `threads` workers (results are byte-identical for any thread
@@ -9,17 +11,18 @@
 //! headline KPIs for machine-readable output, and free-form notes.
 //! The `experiments` binary prints these.
 
+use ssr_alliance::verify::AllianceObserver;
 use ssr_alliance::{fga_sdr, verify};
 use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
 use ssr_campaign::{
     engine, run_scenario, warm_up_and_corrupt_clocks, AlgorithmSpec, Amount, Campaign, InitPlan,
     PresetSpec, ScenarioRecord, TopologySpec, Verdict,
 };
-use ssr_core::{alive_roots, toys::Agreement, Sdr, SegmentTracker, Standalone};
+use ssr_core::{alive_roots, toys::Agreement, Sdr, SegmentObserver, Standalone};
 use ssr_graph::NodeId;
 use ssr_runtime::report::{ratio, Table};
 use ssr_runtime::rng::Xoshiro256StarStar;
-use ssr_runtime::{Daemon, Simulator, StepOutcome};
+use ssr_runtime::{Daemon, Simulator, TerminationReason};
 use ssr_unison::{spec, unison_sdr, Unison};
 
 use crate::workloads::daemon_suite;
@@ -228,20 +231,10 @@ pub fn e3_segments(p: Profile, threads: usize) -> ExpResult {
         let sdr = Sdr::new(Agreement::new(6));
         let init = sdr.arbitrary_config(&g, init_seed);
         let roots0 = alive_roots(&sdr, &g, &init).len();
-        let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+        let mut probe = SegmentObserver::new(&sdr, &g, &init);
         let mut sim = Simulator::new(&g, sdr, init, sc.daemon.clone(), sim_seed);
-        for _ in 0..sc.step_cap {
-            match sim.step() {
-                StepOutcome::Terminal => break,
-                StepOutcome::Progress { .. } => tracker.after_step(
-                    sim.algorithm(),
-                    sim.graph(),
-                    sim.states(),
-                    sim.last_activated(),
-                ),
-            }
-        }
-        let report = tracker.report();
+        sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        let report = probe.report();
         E3Row {
             topology: sc.topology.label(),
             n: sc.n,
@@ -427,28 +420,26 @@ pub fn e6_unison_spec(p: Profile, threads: usize) -> ExpResult {
         let [graph_seed, init_seed, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let algo = unison_sdr(Unison::for_graph(&g));
-        let k = algo.input().period();
         let init = algo.arbitrary_config(&g, init_seed);
         let check = unison_sdr(Unison::for_graph(&g));
         let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-        let out = sim.run_until(sc.step_cap, |gr, st| check.is_normal_config(gr, st));
-        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
-        let mut monitor = spec::LivenessMonitor::new(&clocks);
-        let mut violations = 0usize;
+        let out = sim
+            .execution()
+            .cap(sc.step_cap)
+            .until(|gr, st| check.is_normal_config(gr, st))
+            .run();
+        // The liveness window is pure observation: the spec probe sees
+        // every post-stabilization step through the execution API.
+        let mut probe = spec::SpecObserver::watching(&sim);
         let window = 200 * g.node_count() as u64;
-        for _ in 0..window {
-            sim.step();
-            let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
-            violations += spec::safety_violations(&g, &clocks, k);
-            monitor.observe(&clocks);
-        }
+        sim.execution().cap(window).observe(&mut probe).run();
         E6Row {
             topology: sc.topology.label(),
             n: sc.n,
             nodes: g.node_count(),
             reached: out.reached,
-            violations,
-            min_increments: monitor.min_increments(),
+            violations: probe.safety_violations(),
+            min_increments: probe.min_increments(),
             rounds: out.rounds_at_hit,
             moves: out.moves_at_hit,
         }
@@ -526,14 +517,12 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
         let [graph_seed, _, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let fga = preset.build(&g)?;
-        let f = fga.f().to_vec();
-        let gg = fga.g().to_vec();
-        let ids = fga.ids().to_vec();
+        let mut probe = AllianceObserver::new(&fga);
         let alg = Standalone::new(fga);
         let init = alg.initial_config(&g);
         let mut sim = Simulator::new(&g, alg, init, sc.daemon.clone(), sim_seed);
-        let out = sim.run_to_termination(sc.step_cap);
-        let members = verify::members(sim.states().iter());
+        let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        let v = probe.into_verdict().expect("sampled at run end");
         Some(FgaRow {
             topology: sc.topology.label(),
             n: sc.n,
@@ -544,9 +533,9 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
             terminal: out.terminal,
             rounds: sim.stats().completed_rounds + 1,
             moves: sim.stats().moves,
-            alliance: verify::is_alliance(&g, &f, &gg, &members),
-            one_minimal: verify::is_one_minimal(&g, &f, &gg, &members),
-            corner_ok: verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members),
+            alliance: v.alliance,
+            one_minimal: v.one_minimal,
+            corner_ok: v.corner_ok,
         })
     });
     let mut table = Table::new([
@@ -633,14 +622,12 @@ pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
         let fga = PresetSpec::Domination
             .build(&g)
             .expect("domination always valid");
-        let f = fga.f().to_vec();
-        let gg = fga.g().to_vec();
-        let ids = fga.ids().to_vec();
+        let mut probe = AllianceObserver::new(&fga);
         let algo = fga_sdr(fga);
         let init = algo.arbitrary_config(&g, init_seed);
         let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-        let out = sim.run_to_termination(sc.step_cap);
-        let members = verify::members(sim.states().iter().map(|s| &s.inner));
+        let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        let v = probe.into_verdict().expect("sampled at run end");
         FgaRow {
             topology: sc.topology.label(),
             n: sc.n,
@@ -651,9 +638,9 @@ pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
             terminal: out.terminal,
             rounds: sim.stats().completed_rounds + 1,
             moves: sim.stats().moves,
-            alliance: verify::is_alliance(&g, &f, &gg, &members),
-            one_minimal: verify::is_one_minimal(&g, &f, &gg, &members),
-            corner_ok: verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members),
+            alliance: v.alliance,
+            one_minimal: v.one_minimal,
+            corner_ok: v.corner_ok,
         }
     });
     let mut table = Table::new([
@@ -771,30 +758,28 @@ pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
         let [graph_seed, init_seed, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let fga = preset.build(&g)?;
-        let f = fga.f().to_vec();
-        let gg = fga.g().to_vec();
-        let ids = fga.ids().to_vec();
+        let mut probe = AllianceObserver::new(&fga);
         let algo = fga_sdr(fga);
         let init = algo.arbitrary_config(&g, init_seed);
         let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-        let out = sim.run_to_termination(sc.step_cap);
-        let members = verify::members(sim.states().iter().map(|s| &s.inner));
+        let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        let v = probe.into_verdict().expect("sampled at run end");
         let classical = match preset {
-            PresetSpec::Domination => verify::is_dominating_set(&g, &members),
-            PresetSpec::TwoDomination => verify::is_k_dominating_set(&g, &members, 2),
-            PresetSpec::TwoTuple => verify::is_k_tuple_dominating_set(&g, &members, 2),
-            PresetSpec::Offensive => verify::is_global_offensive_alliance(&g, &members),
-            PresetSpec::Defensive => verify::is_global_defensive_alliance(&g, &members),
-            PresetSpec::Powerful => verify::is_global_powerful_alliance(&g, &members),
+            PresetSpec::Domination => verify::is_dominating_set(&g, &v.members),
+            PresetSpec::TwoDomination => verify::is_k_dominating_set(&g, &v.members, 2),
+            PresetSpec::TwoTuple => verify::is_k_tuple_dominating_set(&g, &v.members, 2),
+            PresetSpec::Offensive => verify::is_global_offensive_alliance(&g, &v.members),
+            PresetSpec::Defensive => verify::is_global_defensive_alliance(&g, &v.members),
+            PresetSpec::Powerful => verify::is_global_powerful_alliance(&g, &v.members),
         };
         Some(E9Row {
             graph: sc.topology.label(),
             preset,
-            members: members.iter().filter(|&&b| b).count(),
+            members: v.member_count(),
             terminal: out.terminal,
             classical,
-            one_minimal: verify::is_one_minimal(&g, &f, &gg, &members),
-            corner_ok: verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members),
+            one_minimal: v.one_minimal,
+            corner_ok: v.corner_ok,
             rounds: sim.stats().completed_rounds + 1,
             moves: sim.stats().moves,
         })
@@ -907,12 +892,15 @@ pub fn e10_ablation(p: Profile, threads: usize) -> ExpResult {
                 kpi.rounds = kpi.rounds.max(sdr.rounds);
                 kpi.moves = kpi.moves.max(sdr.moves);
                 kpi.bound = kpi.bound.max(sdr.bound_moves.unwrap_or(0));
-                let (cfg_moves, cfg_rounds) = if cfg.reached {
+                // Cap exhaustion is an explicit outcome now, never an
+                // inference from step counts or a missed predicate.
+                let cfg_capped = cfg.reason == Some(TerminationReason::CapExhausted);
+                let (cfg_moves, cfg_rounds) = if !cfg_capped {
                     (fmt_u(cfg.moves), fmt_u(cfg.rounds))
                 } else {
                     (format!(">{baseline_cap}"), "—".to_string())
                 };
-                let winner = if !cfg.reached || sdr.moves <= cfg.moves {
+                let winner = if cfg_capped || sdr.moves <= cfg.moves {
                     "sdr"
                 } else {
                     "cfg"
@@ -1003,7 +991,11 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                 let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
                 let mut rng = Xoshiro256StarStar::seed_from_u64(fault_seed);
                 warm_up_and_corrupt_clocks(&mut sim, k, period, &mut rng);
-                let out = sim.run_until(sc.step_cap, |gr, st| check.is_normal_config(gr, st));
+                let out = sim
+                    .execution()
+                    .cap(sc.step_cap)
+                    .until(|gr, st| check.is_normal_config(gr, st))
+                    .run();
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
             AlgorithmSpec::CfgUnison => {
@@ -1016,7 +1008,11 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                     r.below(k_cfg)
                 });
                 sim.reset_stats();
-                let out = sim.run_until(sc.step_cap, |gr, st| spec::safety_holds(gr, st, k_cfg));
+                let out = sim
+                    .execution()
+                    .cap(sc.step_cap)
+                    .until(|gr, st| spec::safety_holds(gr, st, k_cfg))
+                    .run();
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
             AlgorithmSpec::MonoReset => {
@@ -1032,7 +1028,11 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                     }
                 });
                 sim.reset_stats();
-                let out = sim.run_until(sc.step_cap, |gr, st| check.is_normal_config(gr, st));
+                let out = sim
+                    .execution()
+                    .cap(sc.step_cap)
+                    .until(|gr, st| check.is_normal_config(gr, st))
+                    .run();
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
             _ => unreachable!("algorithm axis holds the three unison systems"),

@@ -100,7 +100,11 @@ mod tests {
         // close to the 3n worst case, but never beyond it, under the
         // slowest (central) schedule.
         let mut sim = Simulator::new(&g, sdr, init, Daemon::Central, 7);
-        let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+        let out = sim
+            .execution()
+            .cap(1_000_000)
+            .until(|gr, st| check.is_normal_config(gr, st))
+            .run();
         assert!(out.reached);
         assert!(out.rounds_at_hit <= 3 * n as u64, "Corollary 5 violated");
         assert!(

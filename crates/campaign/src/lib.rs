@@ -55,6 +55,7 @@ pub use scenario::{AlgorithmSpec, Amount, InitPlan, PresetSpec, Scenario, Topolo
 #[cfg(test)]
 pub(crate) mod test_support {
     use crate::runner::{ScenarioRecord, Verdict};
+    use ssr_runtime::TerminationReason;
 
     /// A plausible record for writer/aggregation tests.
     pub fn record(topology: &str, n: usize) -> ScenarioRecord {
@@ -74,6 +75,7 @@ pub(crate) mod test_support {
             seed: 1,
             reached: true,
             terminal: false,
+            reason: Some(TerminationReason::PredicateMet),
             steps: 5,
             moves: 5,
             rounds: 3,

@@ -123,6 +123,10 @@ impl ScenarioRecord {
             ("seed", Json::U64(self.seed)),
             ("reached", Json::Bool(self.reached)),
             ("terminal", Json::Bool(self.terminal)),
+            (
+                "reason",
+                self.reason.map_or(Json::Null, |r| Json::str(r.to_string())),
+            ),
             ("steps", Json::U64(self.steps)),
             ("moves", Json::U64(self.moves)),
             ("rounds", Json::U64(self.rounds)),
@@ -148,7 +152,7 @@ pub fn jsonl(records: &[ScenarioRecord]) -> String {
 }
 
 const CSV_HEADER: &str = "campaign,index,topology,n,nodes,edges,max_degree,diameter,algorithm,\
-                          daemon,init,trial,seed,reached,terminal,steps,moves,rounds,\
+                          daemon,init,trial,seed,reached,terminal,reason,steps,moves,rounds,\
                           max_moves_per_process,bound_rounds,bound_moves,verdict";
 
 fn csv_field(s: &str) -> String {
@@ -180,6 +184,7 @@ pub fn csv(records: &[ScenarioRecord]) -> String {
             r.seed.to_string(),
             r.reached.to_string(),
             r.terminal.to_string(),
+            r.reason.map(|v| v.to_string()).unwrap_or_default(),
             r.steps.to_string(),
             r.moves.to_string(),
             r.rounds.to_string(),

@@ -18,15 +18,17 @@
 //! verification columns) belong to *callers*: run a campaign through
 //! [`crate::engine::run_with`] with your own runner, reusing
 //! [`Scenario::seeds`] and [`TopologySpec::build`] so the determinism
-//! contract carries over.
+//! contract carries over — and attach `ssr_runtime::Observer`s to the
+//! `Execution` instead of hand-rolling a stepping loop.
 
 use std::fmt;
 
+use ssr_alliance::verify::AllianceObserver;
 use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
 use ssr_core::{toys::Agreement, Sdr, Standalone, RULE_C, RULE_R, RULE_RB, RULE_RF};
 use ssr_graph::{metrics, Graph, NodeId};
 use ssr_runtime::rng::Xoshiro256StarStar;
-use ssr_runtime::{Algorithm, Simulator};
+use ssr_runtime::{Algorithm, Simulator, TerminationReason};
 use ssr_unison::{spec, unison_sdr, Unison};
 
 use crate::scenario::{AlgorithmSpec, InitPlan, Scenario};
@@ -101,6 +103,10 @@ pub struct ScenarioRecord {
     pub reached: bool,
     /// Whether the final configuration is terminal.
     pub terminal: bool,
+    /// Why the run stopped (cap exhaustion is explicit — never
+    /// inferred from step counts); `None` for skipped scenarios that
+    /// never ran.
+    pub reason: Option<TerminationReason>,
     /// Steps executed.
     pub steps: u64,
     /// Total moves until the target was hit.
@@ -136,6 +142,7 @@ impl ScenarioRecord {
             seed: sc.seed,
             reached: false,
             terminal: false,
+            reason: None,
             steps: 0,
             moves: 0,
             rounds: 0,
@@ -165,7 +172,11 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
             };
             let check = Sdr::new(Agreement::new(domain));
             let mut sim = Simulator::new(&g, sdr, init, sc.daemon.clone(), sim_seed);
-            let out = sim.run_until(sc.step_cap, |gr, st| check.is_normal_config(gr, st));
+            let out = sim
+                .execution()
+                .cap(sc.step_cap)
+                .until(|gr, st| check.is_normal_config(gr, st))
+                .run();
             let pp = max_sdr_moves_per_process(&g, sim.stats(), rc);
             rec.fill(&out, sim.stats().steps);
             rec.max_moves_per_process = pp;
@@ -192,7 +203,11 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
                 let mut rng = Xoshiro256StarStar::seed_from_u64(fault_seed);
                 warm_up_and_corrupt_clocks(&mut sim, k.resolve(nn), period, &mut rng);
             }
-            let out = sim.run_until(sc.step_cap, |gr, st| check.is_normal_config(gr, st));
+            let out = sim
+                .execution()
+                .cap(sc.step_cap)
+                .until(|gr, st| check.is_normal_config(gr, st))
+                .run();
             let pp = max_sdr_moves_per_process(&g, sim.stats(), rc);
             rec.fill(&out, sim.stats().steps);
             rec.max_moves_per_process = pp;
@@ -226,7 +241,11 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
                 );
                 sim.reset_stats();
             }
-            let out = sim.run_until(sc.step_cap, |gr, st| spec::safety_holds(gr, st, period));
+            let out = sim
+                .execution()
+                .cap(sc.step_cap)
+                .until(|gr, st| spec::safety_holds(gr, st, period))
+                .run();
             rec.fill(&out, sim.stats().steps);
             rec.max_moves_per_process = sim.stats().max_moves_per_process();
             // No closed-form bound: blowing the cap is a finding, not
@@ -252,7 +271,11 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
                 );
                 sim.reset_stats();
             }
-            let out = sim.run_until(sc.step_cap, |gr, st| check.is_normal_config(gr, st));
+            let out = sim
+                .execution()
+                .cap(sc.step_cap)
+                .until(|gr, st| check.is_normal_config(gr, st))
+                .run();
             rec.fill(&out, sim.stats().steps);
             rec.max_moves_per_process = sim.stats().max_moves_per_process();
             rec.verdict = Verdict::NoBound;
@@ -261,22 +284,18 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
             let Some(fga) = preset.build(&g) else {
                 return rec; // Verdict::Skip
             };
-            let (f, gg) = (fga.f().to_vec(), fga.g().to_vec());
-            let ids = fga.ids().to_vec();
+            let mut probe = AllianceObserver::new(&fga);
             let algo = ssr_alliance::fga_sdr(fga);
             let init = match sc.init {
                 InitPlan::Normal => algo.initial_config(&g),
                 _ => algo.arbitrary_config(&g, init_seed),
             };
             let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-            let out = sim.run_to_termination(sc.step_cap);
+            let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
             rec.fill(&out, sim.stats().steps);
             rec.max_moves_per_process = sim.stats().max_moves_per_process();
-            let members = ssr_alliance::verify::members(sim.states().iter().map(|s| &s.inner));
-            let sound = ssr_alliance::verify::is_alliance(&g, &f, &gg, &members)
-                && ssr_alliance::verify::gap_explained_by_gslack_corner(
-                    &g, &f, &gg, &ids, &members,
-                );
+            let v = probe.into_verdict().expect("sampled at run end");
+            let sound = v.alliance && v.corner_ok;
             // Thm 14 (rounds) and Thm 12 (moves).
             let rb = ssr_alliance::verify::theorem14_round_bound(nn);
             let mb = ssr_alliance::verify::theorem12_move_bound(nn, rec.edges, rec.max_degree);
@@ -292,20 +311,16 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
             let Some(fga) = preset.build(&g) else {
                 return rec; // Verdict::Skip
             };
-            let (f, gg) = (fga.f().to_vec(), fga.g().to_vec());
-            let ids = fga.ids().to_vec();
+            let mut probe = AllianceObserver::new(&fga);
             let algo = Standalone::new(fga);
             // The standalone theorems quantify over γ_init only.
             let init = algo.initial_config(&g);
             let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-            let out = sim.run_to_termination(sc.step_cap);
+            let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
             rec.fill(&out, sim.stats().steps);
             rec.max_moves_per_process = sim.stats().max_moves_per_process();
-            let members = ssr_alliance::verify::members(sim.states().iter());
-            let sound = ssr_alliance::verify::is_alliance(&g, &f, &gg, &members)
-                && ssr_alliance::verify::gap_explained_by_gslack_corner(
-                    &g, &f, &gg, &ids, &members,
-                );
+            let v = probe.into_verdict().expect("sampled at run end");
+            let sound = v.alliance && v.corner_ok;
             // Cor. 12 (rounds) and Cor. 11 (moves).
             let rb = ssr_alliance::verify::corollary12_round_bound(nn);
             let mb = ssr_alliance::verify::corollary11_move_bound(nn, rec.edges, rec.max_degree);
@@ -339,6 +354,7 @@ impl ScenarioRecord {
     fn fill(&mut self, out: &ssr_runtime::RunOutcome, steps: u64) {
         self.reached = out.reached;
         self.terminal = out.terminal;
+        self.reason = Some(out.reason);
         self.steps = steps;
         self.moves = out.moves_at_hit;
         self.rounds = out.rounds_at_hit;
@@ -356,9 +372,7 @@ pub fn warm_up_and_corrupt_clocks(
     rng: &mut Xoshiro256StarStar,
 ) {
     let n = sim.graph().node_count();
-    for _ in 0..10 * n as u64 {
-        sim.step();
-    }
+    sim.execution().cap(10 * n as u64).run();
     let k = (k as usize).min(n);
     // Clock-only corruption: keep each victim's reset variables,
     // overwrite its inner clock. Victim selection is shared with

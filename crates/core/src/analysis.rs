@@ -14,7 +14,7 @@
 use std::collections::BTreeSet;
 
 use ssr_graph::{Graph, NodeId};
-use ssr_runtime::{ConfigView, RuleId};
+use ssr_runtime::{ConfigView, Observer, RuleId, Simulator, StepOutcome};
 
 use crate::input::ResetInput;
 use crate::sdr::{Sdr, RULE_C, RULE_R, RULE_RB, RULE_RF};
@@ -307,6 +307,63 @@ impl SegmentTracker {
     }
 }
 
+/// [`SegmentTracker`] as a plug-in [`Observer`]: attach it to an
+/// execution and every step feeds the Theorem 3 / Remark 5 /
+/// Corollary 3 checks — no hand-rolled stepping loop required.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_core::{toys::Agreement, Sdr, SegmentObserver};
+/// use ssr_graph::generators;
+/// use ssr_runtime::{Daemon, Simulator};
+///
+/// let g = generators::ring(5);
+/// let sdr = Sdr::new(Agreement::new(3));
+/// let init = sdr.arbitrary_config(&g, 99);
+/// let mut probe = SegmentObserver::new(&sdr, &g, &init);
+/// let mut sim = Simulator::new(&g, sdr, init, Daemon::Central, 1);
+/// sim.execution().cap(100_000).observe(&mut probe).run();
+/// let report = probe.report();
+/// assert!(report.ok(), "{:?}", report.violations);
+/// assert!(report.segments <= 5 + 1); // Remark 5
+/// ```
+#[derive(Clone, Debug)]
+pub struct SegmentObserver {
+    tracker: SegmentTracker,
+}
+
+impl SegmentObserver {
+    /// Starts tracking from the initial configuration (the same
+    /// arguments as [`SegmentTracker::new`]).
+    pub fn new<I: ResetInput>(sdr: &Sdr<I>, graph: &Graph, states: &[Composed<I::State>]) -> Self {
+        SegmentObserver {
+            tracker: SegmentTracker::new(sdr, graph, states),
+        }
+    }
+
+    /// The summary so far.
+    pub fn report(&self) -> SegmentReport {
+        self.tracker.report()
+    }
+
+    /// The underlying tracker (for incremental inspection).
+    pub fn tracker(&self) -> &SegmentTracker {
+        &self.tracker
+    }
+}
+
+impl<I: ResetInput> Observer<Sdr<I>> for SegmentObserver {
+    fn on_step(&mut self, sim: &Simulator<'_, Sdr<I>>, _outcome: &StepOutcome) {
+        self.tracker.after_step(
+            sim.algorithm(),
+            sim.graph(),
+            sim.states(),
+            sim.last_activated(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +528,20 @@ mod tests {
             for w in report.alive_roots_per_segment.windows(2) {
                 assert!(w[1] < w[0], "boundaries must shrink the root set");
             }
+        }
+    }
+
+    #[test]
+    fn observer_reproduces_manual_tracking() {
+        for seed in 0..4 {
+            let manual = run_tracked(10, seed, Daemon::RandomSubset { p: 0.5 });
+            let g = generators::random_connected(10, 5, seed);
+            let sdr = Sdr::new(BoundedCounter::new(6));
+            let init = sdr.arbitrary_config(&g, seed ^ 0xF00D);
+            let mut probe = SegmentObserver::new(&sdr, &g, &init);
+            let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.5 }, seed);
+            sim.execution().cap(100_000).observe(&mut probe).run();
+            assert_eq!(probe.report(), manual, "seed {seed}");
         }
     }
 

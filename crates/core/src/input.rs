@@ -97,7 +97,7 @@ pub trait ResetInput {
 /// let alg = Standalone::new(BoundedCounter::new(3));
 /// let init = alg.initial_config(&g);
 /// let mut sim = Simulator::new(&g, alg, init, Daemon::Synchronous, 0);
-/// let out = sim.run_to_termination(10_000);
+/// let out = sim.execution().cap(10_000).run();
 /// assert!(out.terminal); // counters all reach the cap
 /// ```
 #[derive(Clone, Debug)]
@@ -160,7 +160,7 @@ mod tests {
         let init = alg.initial_config(&g);
         assert!(init.iter().all(|&x| x == 0));
         let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.7 }, 3);
-        let out = sim.run_to_termination(100_000);
+        let out = sim.execution().cap(100_000).run();
         assert!(out.terminal);
         assert!(sim.states().iter().all(|&x| x == 4));
     }

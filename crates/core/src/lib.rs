@@ -31,9 +31,11 @@
 //! // arbitrary state (counter values AND reset variables).
 //! let init = algo.arbitrary_config(&g, 0xBAD_5EED);
 //! let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 7);
-//! let out = sim.run_until(100_000, |graph, states| {
-//!     Sdr::new(BoundedCounter::new(8)).is_normal_config(graph, states)
-//! });
+//! let out = sim
+//!     .execution()
+//!     .cap(100_000)
+//!     .until(|graph, states| Sdr::new(BoundedCounter::new(8)).is_normal_config(graph, states))
+//!     .run();
 //! assert!(out.reached);
 //! assert!(out.rounds_at_hit <= 3 * 6); // Corollary 5: ≤ 3n rounds
 //! ```
@@ -47,7 +49,7 @@ pub mod validate;
 
 pub use analysis::{
     alive_roots, dead_roots, max_branch_depth, reset_children, reset_parents, RuleKind,
-    SegmentReport, SegmentTracker,
+    SegmentObserver, SegmentReport, SegmentTracker,
 };
 pub use input::{ResetInput, Standalone};
 pub use sdr::{Sdr, RULE_C, RULE_R, RULE_RB, RULE_RF, SDR_RULE_COUNT};

@@ -514,7 +514,11 @@ mod tests {
         let states: Vec<St> = (0..8).map(|i| mk(Status::C, 0, i % 5)).collect();
         let check = Sdr::new(Agreement::new(5));
         let mut sim = Simulator::new(&g, sdr, states, Daemon::Synchronous, 0);
-        let out = sim.run_until(10_000, |graph, st| check.is_normal_config(graph, st));
+        let out = sim
+            .execution()
+            .cap(10_000)
+            .until(|graph, st| check.is_normal_config(graph, st))
+            .run();
         assert!(out.reached);
         assert!(out.rounds_at_hit <= 3 * 8, "Corollary 5: ≤ 3n rounds");
         // Agreement resets to 0: afterwards everyone agrees on 0.
@@ -531,7 +535,11 @@ mod tests {
                 let init = sdr.arbitrary_config(&g, seed * 31 + 7);
                 let check = Sdr::new(BoundedCounter::new(20));
                 let mut sim = Simulator::new(&g, sdr, init, daemon.clone(), seed);
-                let out = sim.run_until(200_000, |graph, st| check.is_normal_config(graph, st));
+                let out = sim
+                    .execution()
+                    .cap(200_000)
+                    .until(|graph, st| check.is_normal_config(graph, st))
+                    .run();
                 assert!(
                     out.reached,
                     "did not stabilize under {daemon:?} (seed {seed})"
@@ -572,7 +580,11 @@ mod tests {
             let init = sdr.arbitrary_config(&g, seed);
             let check = Sdr::new(Agreement::new(3));
             let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.4 }, seed);
-            let out = sim.run_until(500_000, |graph, st| check.is_normal_config(graph, st));
+            let out = sim
+                .execution()
+                .cap(500_000)
+                .until(|graph, st| check.is_normal_config(graph, st))
+                .run();
             assert!(out.reached);
             for u in g.nodes() {
                 let sdr_moves: u64 = [RULE_RB, RULE_RF, RULE_C, RULE_R]

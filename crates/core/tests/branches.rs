@@ -117,6 +117,10 @@ fn distance_saturation_is_safe() {
         })
         .collect();
     let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.6 }, 2);
-    let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(1_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
     assert!(out.reached, "must stabilize despite saturated distances");
 }

@@ -168,7 +168,7 @@ proptest! {
         let init = sdr.arbitrary_config(&g, cseed);
         let check = Sdr::new(Agreement::new(3));
         let mut sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), cseed);
-        let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+        let out = sim.execution().cap(1_000_000).until(|gr, st| check.is_normal_config(gr, st)).run();
         prop_assert!(out.reached);
         prop_assert!(out.rounds_at_hit <= 3 * nn);
     }

@@ -53,8 +53,18 @@ impl RuleMask {
     pub const NONE: RuleMask = RuleMask(0);
 
     /// Mask containing exactly `rule`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when `rule.0 >= 32` (the mask would silently
+    /// wrap in release).
     #[inline]
     pub fn just(rule: RuleId) -> Self {
+        debug_assert!(
+            rule.0 < 32,
+            "RuleId {} is outside the 32-rule range of RuleMask",
+            rule.0
+        );
         RuleMask(1 << rule.0)
     }
 
@@ -70,9 +80,19 @@ impl RuleMask {
     }
 
     /// Adds `rule` to the mask.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when `rule.0 >= 32` (the mask would silently
+    /// wrap in release).
     #[inline]
     #[must_use]
     pub fn with(self, rule: RuleId) -> Self {
+        debug_assert!(
+            rule.0 < 32,
+            "RuleId {} is outside the 32-rule range of RuleMask",
+            rule.0
+        );
         RuleMask(self.0 | (1 << rule.0))
     }
 
@@ -306,6 +326,20 @@ mod tests {
             .with_if(RuleId(2), false)
             .with_if(RuleId(5), true);
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![RuleId(5)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside the 32-rule range")]
+    fn rule_mask_just_rejects_out_of_range_rules() {
+        let _ = RuleMask::just(RuleId(32));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside the 32-rule range")]
+    fn rule_mask_with_rejects_out_of_range_rules() {
+        let _ = RuleMask::just(RuleId(0)).with(RuleId(40));
     }
 
     #[test]

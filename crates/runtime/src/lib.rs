@@ -22,6 +22,11 @@
 //! executions, so measured times are existential lower bounds that the
 //! paper's universal upper bounds must dominate.
 //!
+//! Runs are driven through the [`exec`] module: an [`Execution`] builder
+//! owns the one canonical run loop, and [`Observer`]s plug trajectory
+//! probes (segment tracking, liveness windows, verification sampling)
+//! into it without forking the loop.
+//!
 //! # Threading contract
 //!
 //! The batch layers above this crate (`ssr-campaign`) run one
@@ -56,7 +61,7 @@
 //! let mut init = vec![false; 5];
 //! init[0] = true;
 //! let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 42);
-//! let out = sim.run_to_termination(1_000);
+//! let out = sim.execution().cap(1_000).run();
 //! assert!(out.terminal);
 //! assert_eq!(sim.stats().moves, 4);
 //! assert_eq!(sim.stats().completed_rounds, 4);
@@ -64,6 +69,7 @@
 
 mod algorithm;
 mod daemon;
+pub mod exec;
 pub mod faults;
 pub mod report;
 pub mod rng;
@@ -71,7 +77,8 @@ mod simulator;
 
 pub use algorithm::{Algorithm, ConfigView, MapView, RuleId, RuleMask, StateView};
 pub use daemon::Daemon;
-pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome};
+pub use exec::{Execution, NoObserver, NoPredicate, Observer, RunReport};
+pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome, TerminationReason};
 
 // Re-export the graph handle: every API in this crate speaks `NodeId`.
 pub use ssr_graph::NodeId;

@@ -1,10 +1,13 @@
 //! The [`Simulator`]: composite-atomicity execution engine with move and
 //! round accounting.
 
+use std::fmt;
+
 use ssr_graph::{Graph, NodeId};
 
 use crate::algorithm::{Algorithm, ConfigView, RuleId, RuleMask};
 use crate::daemon::Daemon;
+use crate::exec::Execution;
 use crate::rng::Xoshiro256StarStar;
 
 /// Execution counters (§2.4 time measures).
@@ -59,12 +62,36 @@ pub enum StepOutcome {
     },
 }
 
-/// Result of a bounded run ([`Simulator::run_until`] /
-/// [`Simulator::run_to_termination`]).
+/// Why a driven run ([`crate::Execution::run`]) stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// The configuration is terminal: no rule is enabled anywhere.
+    Terminal,
+    /// The [`crate::Execution::until`] predicate holds.
+    PredicateMet,
+    /// The step budget ran out with the system still live — the only
+    /// variant where the run was cut short, so experiments test this
+    /// instead of inferring exhaustion from step counts.
+    CapExhausted,
+}
+
+impl fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TerminationReason::Terminal => "terminal",
+            TerminationReason::PredicateMet => "predicate-met",
+            TerminationReason::CapExhausted => "cap-exhausted",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Result of a driven run ([`crate::Execution::run`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunOutcome {
-    /// Whether the target predicate was reached (always `false` for
-    /// plain termination runs that hit the step bound).
+    /// Whether the run's target was met: the predicate for
+    /// predicate-bearing runs, termination for plain runs (always
+    /// `false` for predicate runs that hit the step bound).
     pub reached: bool,
     /// Whether the final configuration is terminal.
     pub terminal: bool,
@@ -76,6 +103,8 @@ pub struct RunOutcome {
     /// Stabilization time in rounds: completed rounds before the hit,
     /// counting a partially elapsed round as one full round.
     pub rounds_at_hit: u64,
+    /// Why the run stopped.
+    pub reason: TerminationReason,
 }
 
 /// Composite-atomicity execution engine.
@@ -376,81 +405,47 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         StepOutcome::Progress { activated }
     }
 
+    /// Whether the most recent step completed a round (§2.4
+    /// neutralization-based rounds). `false` before the first step and
+    /// right after [`Simulator::reset_stats`].
+    pub fn last_step_completed_round(&self) -> bool {
+        self.round_just_completed
+    }
+
+    /// Starts a resumed [`Execution`] over this simulator: the fluent
+    /// way to drive it to completion with observers and a stop
+    /// predicate.
+    ///
+    /// # Examples
+    ///
+    /// See the [`crate::exec`] module documentation.
+    pub fn execution<'e>(&'e mut self) -> Execution<'e, 'g, A> {
+        Execution::resume(self)
+    }
+
     /// Runs until `predicate` holds (checked on the initial configuration
     /// too), the configuration becomes terminal, or `max_steps` elapse.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive runs through the execution API: \
+                `sim.execution().cap(max_steps).until(predicate).run()`"
+    )]
     pub fn run_until(
         &mut self,
         max_steps: u64,
-        mut predicate: impl FnMut(&Graph, &[A::State]) -> bool,
+        predicate: impl FnMut(&Graph, &[A::State]) -> bool,
     ) -> RunOutcome {
-        let mut steps_used = 0;
-        if predicate(self.graph, &self.states) {
-            return RunOutcome {
-                reached: true,
-                terminal: self.is_terminal(),
-                steps_used,
-                moves_at_hit: self.stats.moves,
-                rounds_at_hit: self.rounds_now(),
-            };
-        }
-        while steps_used < max_steps {
-            match self.step() {
-                StepOutcome::Terminal => {
-                    return RunOutcome {
-                        reached: false,
-                        terminal: true,
-                        steps_used,
-                        moves_at_hit: self.stats.moves,
-                        rounds_at_hit: self.rounds_now(),
-                    };
-                }
-                StepOutcome::Progress { .. } => {
-                    steps_used += 1;
-                    if predicate(self.graph, &self.states) {
-                        return RunOutcome {
-                            reached: true,
-                            terminal: self.is_terminal(),
-                            steps_used,
-                            moves_at_hit: self.stats.moves,
-                            rounds_at_hit: self.rounds_now(),
-                        };
-                    }
-                }
-            }
-        }
-        RunOutcome {
-            reached: false,
-            terminal: self.is_terminal(),
-            steps_used,
-            moves_at_hit: self.stats.moves,
-            rounds_at_hit: self.rounds_now(),
-        }
+        self.execution().cap(max_steps).until(predicate).run()
     }
 
     /// Runs until the configuration is terminal or `max_steps` elapse.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive runs through the execution API: \
+                `sim.execution().cap(max_steps).run()`"
+    )]
     pub fn run_to_termination(&mut self, max_steps: u64) -> RunOutcome {
-        let mut steps_used = 0;
-        while steps_used < max_steps {
-            match self.step() {
-                StepOutcome::Terminal => {
-                    return RunOutcome {
-                        reached: true,
-                        terminal: true,
-                        steps_used,
-                        moves_at_hit: self.stats.moves,
-                        rounds_at_hit: self.rounds_now(),
-                    };
-                }
-                StepOutcome::Progress { .. } => steps_used += 1,
-            }
-        }
-        RunOutcome {
-            reached: self.is_terminal(),
-            terminal: self.is_terminal(),
-            steps_used,
-            moves_at_hit: self.stats.moves,
-            rounds_at_hit: self.rounds_now(),
-        }
+        self.execution().cap(max_steps).run()
     }
 
     // ---- internals ----
@@ -601,7 +596,7 @@ mod tests {
     fn synchronous_flood_rounds_equal_distance() {
         let (init, g) = flood_path(6);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
-        let out = sim.run_to_termination(100);
+        let out = sim.execution().cap(100).run();
         assert!(out.terminal);
         // Distance from node 0 to node 5 is 5: five rounds, five moves.
         assert_eq!(sim.stats().completed_rounds, 5);
@@ -613,7 +608,7 @@ mod tests {
     fn central_flood_same_rounds_more_steps_possible() {
         let (init, g) = flood_path(6);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Central, 3);
-        let out = sim.run_to_termination(100);
+        let out = sim.execution().cap(100).run();
         assert!(out.terminal);
         // Only one process is ever enabled on a path flood, so the
         // central daemon still needs exactly 5 steps/moves/rounds.
@@ -621,7 +616,10 @@ mod tests {
         assert_eq!(sim.stats().completed_rounds, 5);
     }
 
+    /// The deprecated shims must keep their classic semantics while
+    /// delegating to the execution API.
     #[test]
+    #[allow(deprecated)]
     fn run_until_predicate_on_initial_config() {
         let (init, g) = flood_path(4);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
@@ -635,6 +633,17 @@ mod tests {
     fn run_until_mid_execution() {
         let (init, g) = flood_path(5);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        let out = sim.execution().cap(100).until(|_, states| states[2]).run();
+        assert!(out.reached);
+        assert_eq!(out.steps_used, 2);
+        assert_eq!(out.rounds_at_hit, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_until_shim_matches_execution() {
+        let (init, g) = flood_path(5);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
         let out = sim.run_until(100, |_, states| states[2]);
         assert!(out.reached);
         assert_eq!(out.steps_used, 2);
@@ -645,7 +654,7 @@ mod tests {
     fn run_until_respects_step_bound() {
         let (init, g) = flood_path(10);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
-        let out = sim.run_until(3, |_, states| states[9]);
+        let out = sim.execution().cap(3).until(|_, states| states[9]).run();
         assert!(!out.reached);
         assert_eq!(out.steps_used, 3);
     }
@@ -654,7 +663,7 @@ mod tests {
     fn stats_track_per_process_moves() {
         let (init, g) = flood_path(4);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
-        sim.run_to_termination(100);
+        sim.execution().cap(100).run();
         assert_eq!(sim.stats().moves_per_process, vec![0, 1, 1, 1]);
         assert_eq!(sim.stats().moves_per_rule, vec![3]);
         assert_eq!(sim.stats().max_moves_per_process(), 1);
@@ -665,14 +674,14 @@ mod tests {
     fn inject_reactivates() {
         let (init, g) = flood_path(3);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
-        sim.run_to_termination(100);
+        sim.execution().cap(100).run();
         assert!(sim.is_terminal());
         // Faults cannot resurrect a flood (monotone), but injecting a
         // fresh `false` next to a `true` re-enables the rule.
         sim.inject(NodeId(1), false);
         assert!(!sim.is_terminal());
         sim.reset_stats();
-        let out = sim.run_to_termination(100);
+        let out = sim.execution().cap(100).run();
         assert!(out.terminal);
         assert_eq!(sim.stats().moves, 1);
     }
@@ -717,7 +726,7 @@ mod tests {
                 Daemon::RandomSubset { p: 0.4 },
                 seed,
             );
-            sim.run_to_termination(10_000);
+            sim.execution().cap(10_000).run();
             (sim.stats().clone(), sim.states().to_vec())
         };
         assert_eq!(run(5), run(5));
@@ -730,7 +739,7 @@ mod tests {
         init[3] = true;
         for daemon in Daemon::all_strategies() {
             let mut sim = Simulator::new(&g, Flood, init.clone(), daemon.clone(), 11);
-            let out = sim.run_to_termination(10_000);
+            let out = sim.execution().cap(10_000).run();
             assert!(out.terminal, "flood must terminate under {daemon:?}");
             assert!(
                 sim.stats().completed_rounds <= sim.stats().steps.max(1),

@@ -170,7 +170,7 @@ proptest! {
                 daemon_from(daemon_idx),
                 seed,
             );
-            sim.run_to_termination(2_000);
+            sim.execution().cap(2_000).run();
             (sim.states().to_vec(), sim.stats().clone())
         };
         prop_assert_eq!(run(), run());

@@ -31,7 +31,7 @@
 //! let init = algo.arbitrary_config(&g, 1234);
 //! let check = unison_sdr(Unison::for_graph(&g));
 //! let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 5);
-//! let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+//! let out = sim.execution().cap(1_000_000).until(|gr, st| check.is_normal_config(gr, st)).run();
 //! assert!(out.reached);
 //! assert!(out.rounds_at_hit <= 3 * 8, "Theorem 7");
 //! // From a normal configuration the unison specification holds:

@@ -9,8 +9,9 @@
 //!   ([`theorem7_round_bound`]).
 
 use ssr_graph::Graph;
+use ssr_runtime::{Observer, Simulator, StepOutcome};
 
-use crate::unison::Unison;
+use crate::unison::{Unison, UnisonSdr};
 
 /// Whether every edge satisfies `P_Ok` (clock gap at most one,
 /// circularly) — the unison safety predicate.
@@ -96,6 +97,82 @@ impl LivenessMonitor {
     /// The minimum increment count over all processes.
     pub fn min_increments(&self) -> u64 {
         self.increments.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// The unison specification as a plug-in [`Observer`] over `U ∘ SDR`:
+/// attach it to an execution window after stabilization and it counts
+/// per-step safety violations (must stay `0`, Cor. 7) and feeds a
+/// [`LivenessMonitor`] (every clock must advance, Lem. 19) — the E6
+/// probe, without a hand-rolled stepping loop.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::generators;
+/// use ssr_runtime::{Daemon, Simulator};
+/// use ssr_unison::{spec, unison_sdr, Unison};
+///
+/// let g = generators::ring(6);
+/// let algo = unison_sdr(Unison::for_graph(&g));
+/// let init = algo.initial_config(&g); // already legitimate
+/// let mut sim = Simulator::new(&g, algo, init, Daemon::Synchronous, 3);
+/// let mut probe = spec::SpecObserver::watching(&sim);
+/// sim.execution().cap(100).observe(&mut probe).run();
+/// assert_eq!(probe.safety_violations(), 0);
+/// assert!(probe.min_increments() > 0, "all clocks advanced");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpecObserver {
+    period: u64,
+    monitor: LivenessMonitor,
+    violations: usize,
+}
+
+impl SpecObserver {
+    /// Starts observing from the clock vector `clocks`.
+    pub fn new(clocks: &[u64], period: u64) -> Self {
+        SpecObserver {
+            period,
+            monitor: LivenessMonitor::new(clocks),
+            violations: 0,
+        }
+    }
+
+    /// Starts observing from `sim`'s current configuration, taking the
+    /// period from its algorithm.
+    pub fn watching(sim: &Simulator<'_, UnisonSdr>) -> Self {
+        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+        SpecObserver::new(&clocks, sim.algorithm().input().period())
+    }
+
+    /// Safety violations seen so far (edges breaking `P_Ok`, summed
+    /// over every observed instant).
+    pub fn safety_violations(&self) -> usize {
+        self.violations
+    }
+
+    /// The minimum per-process increment count over the window.
+    pub fn min_increments(&self) -> u64 {
+        self.monitor.min_increments()
+    }
+
+    /// Whether every process incremented at least `target` times.
+    pub fn all_incremented_at_least(&self, target: u64) -> bool {
+        self.monitor.all_incremented_at_least(target)
+    }
+
+    /// The underlying liveness monitor.
+    pub fn monitor(&self) -> &LivenessMonitor {
+        &self.monitor
+    }
+}
+
+impl Observer<UnisonSdr> for SpecObserver {
+    fn on_step(&mut self, sim: &Simulator<'_, UnisonSdr>, _outcome: &StepOutcome) {
+        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+        self.violations += safety_violations(sim.graph(), &clocks, self.period);
+        self.monitor.observe(&clocks);
     }
 }
 

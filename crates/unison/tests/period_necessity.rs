@@ -66,7 +66,7 @@ fn composition_cannot_escape_an_illegal_period() {
         .collect();
     assert!(algo.is_normal_config(&g, &states));
     let mut sim = Simulator::new(&g, algo, states, Daemon::Central, 0);
-    let out = sim.run_to_termination(1_000);
+    let out = sim.execution().cap(1_000).run();
     assert!(
         out.terminal && out.steps_used == 0,
         "stuck, by design of the counterexample"

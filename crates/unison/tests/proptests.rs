@@ -88,7 +88,7 @@ proptest! {
         let init = algo.arbitrary_config(&g, cseed);
         let check = unison_sdr(Unison::for_graph(&g));
         let mut sim = Simulator::new(&g, algo, init, daemon_from(daemon_idx), cseed);
-        let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+        let out = sim.execution().cap(5_000_000).until(|gr, st| check.is_normal_config(gr, st)).run();
         prop_assert!(out.reached);
         prop_assert!(out.rounds_at_hit <= spec::theorem7_round_bound(nn));
         prop_assert!(out.moves_at_hit <= spec::theorem6_move_bound(nn, d));
@@ -108,7 +108,7 @@ proptest! {
         let init = algo.arbitrary_config(&g, cseed);
         let check = unison_sdr(Unison::for_graph(&g));
         let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, cseed);
-        let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+        let out = sim.execution().cap(5_000_000).until(|gr, st| check.is_normal_config(gr, st)).run();
         prop_assert!(out.reached);
         for _ in 0..500 {
             sim.step();

@@ -51,7 +51,7 @@ fn standalone_unison_freezes_outside_legitimate_set() {
     // Clock gap of 3 between nodes 2 and 3: not locally correct.
     let init = vec![0u64, 0, 0, 3, 3, 3];
     let mut sim = Simulator::new(&g, alg, init, Daemon::RandomSubset { p: 0.7 }, 9);
-    let out = sim.run_to_termination(100_000);
+    let out = sim.execution().cap(100_000).run();
     assert!(out.terminal, "execution must be finite (Lemma 20)");
     assert!(
         sim.stats().max_moves_per_process() <= spec::lemma20_move_bound(d),
@@ -71,7 +71,11 @@ fn stabilization_run(
     let init = algo.arbitrary_config(g, config_seed);
     let check = unison_sdr(Unison::for_graph(g));
     let mut sim = Simulator::new(g, algo, init, daemon, daemon_seed);
-    let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(5_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
     assert!(out.reached, "U ∘ SDR failed to stabilize");
     (out.rounds_at_hit, out.moves_at_hit, sim.states().to_vec())
 }
@@ -125,7 +129,11 @@ fn specification_holds_after_stabilization() {
     let init = algo.arbitrary_config(&g, 0xDEAD);
     let check = unison_sdr(Unison::for_graph(&g));
     let mut sim = Simulator::new(&g, algo, init, Daemon::RoundRobin, 4);
-    let out = sim.run_until(2_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(2_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
     assert!(out.reached);
     let mut monitor = spec::LivenessMonitor::new(&clocks_of(sim.states()));
     for _ in 0..20_000 {
@@ -167,7 +175,11 @@ fn recovers_from_clock_gradient() {
     }
     let check = unison_sdr(Unison::new(n as u64 + 1));
     let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 11);
-    let out = sim.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(5_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
     assert!(out.reached);
     assert!(out.rounds_at_hit <= 3 * n as u64);
 }

@@ -30,7 +30,7 @@ fn main() {
         // Start from garbage: the composition is self-stabilizing.
         let init = algo.arbitrary_config(&g, 0xC0DE);
         let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 1);
-        let out = sim.run_to_termination(100_000_000);
+        let out = sim.execution().cap(100_000_000).run();
         assert!(out.terminal, "FGA ∘ SDR is silent");
 
         let members = verify::members(sim.states().iter().map(|s| &s.inner));

@@ -10,9 +10,30 @@
 //! Run with: `cargo run --example cooperative_resets`
 
 use ssr::core::toys::Agreement;
-use ssr::core::{alive_roots, Sdr, SegmentTracker};
+use ssr::core::{alive_roots, Sdr, SegmentObserver};
 use ssr::graph::generators;
-use ssr::runtime::{Daemon, Simulator, StepOutcome};
+use ssr::runtime::{Daemon, Observer, Simulator, StepOutcome};
+
+/// Prints the alive-root set whenever it changes — cooperation made
+/// visible, as a plug-in probe instead of a forked run loop.
+struct RootWatch {
+    last: usize,
+}
+
+impl Observer<Sdr<Agreement>> for RootWatch {
+    fn on_step(&mut self, sim: &Simulator<'_, Sdr<Agreement>>, _outcome: &StepOutcome) {
+        let roots = alive_roots(sim.algorithm(), sim.graph(), sim.states());
+        if roots.len() != self.last {
+            println!(
+                "step {:>4}: {} alive root(s): {:?}",
+                sim.stats().steps,
+                roots.len(),
+                roots.iter().collect::<Vec<_>>()
+            );
+            self.last = roots.len();
+        }
+    }
+}
 
 fn main() {
     let n = 30usize;
@@ -26,37 +47,26 @@ fn main() {
         init[node].inner = value;
     }
 
-    let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+    let mut segments = SegmentObserver::new(&sdr, &g, &init);
     let mut sim = Simulator::new(&g, sdr, init, Daemon::RandomSubset { p: 0.35 }, 3);
 
     println!("ring of {n}; inconsistencies at processes 0, 10, 20\n");
-    let mut last_roots = usize::MAX;
-    loop {
-        let roots = alive_roots(sim.algorithm(), sim.graph(), sim.states());
-        if roots.len() != last_roots {
-            println!(
-                "step {:>4}: {} alive root(s): {:?}",
-                sim.stats().steps,
-                roots.len(),
-                roots.iter().collect::<Vec<_>>()
-            );
-            last_roots = roots.len();
-        }
-        if check.is_normal_config(sim.graph(), sim.states()) {
-            break;
-        }
-        match sim.step() {
-            StepOutcome::Terminal => break,
-            StepOutcome::Progress { .. } => tracker.after_step(
-                sim.algorithm(),
-                sim.graph(),
-                sim.states(),
-                sim.last_activated(),
-            ),
-        }
-    }
+    let roots = alive_roots(sim.algorithm(), sim.graph(), sim.states());
+    println!(
+        "step {:>4}: {} alive root(s): {:?}",
+        0,
+        roots.len(),
+        roots.iter().collect::<Vec<_>>()
+    );
+    // One execution, two probes: the structural-theorem checker and
+    // the live root trace ride the same loop.
+    sim.execution()
+        .observe(&mut segments)
+        .observe(RootWatch { last: roots.len() })
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
 
-    let report = tracker.report();
+    let report = segments.report();
     println!(
         "\nstabilized in {} rounds / {} moves",
         sim.stats().completed_rounds + 1,

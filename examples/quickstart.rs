@@ -29,7 +29,11 @@ fn main() {
     );
 
     let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 7);
-    let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(1_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
 
     assert!(out.reached, "U ∘ SDR always stabilizes");
     println!(
@@ -40,13 +44,11 @@ fn main() {
     );
 
     // From here on the unison specification holds: clocks stay within
-    // one tick of every neighbor and keep advancing.
-    let k = check.input().period();
-    for _ in 0..5 * n as u64 {
-        sim.step();
-        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
-        assert!(spec::safety_holds(&g, &clocks, k));
-    }
+    // one tick of every neighbor and keep advancing — pinned by the
+    // spec observer over a post-stabilization window.
+    let mut probe = spec::SpecObserver::watching(&sim);
+    sim.execution().cap(5 * n as u64).observe(&mut probe).run();
+    assert_eq!(probe.safety_violations(), 0);
     println!(
         "final clocks:   {:?}",
         sim.states().iter().map(|s| s.inner).collect::<Vec<_>>()

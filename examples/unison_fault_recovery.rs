@@ -9,8 +9,8 @@
 use ssr::core::Status;
 use ssr::graph::generators;
 use ssr::runtime::rng::Xoshiro256StarStar;
-use ssr::runtime::{faults, Daemon, Simulator};
-use ssr::unison::{unison_sdr, Unison};
+use ssr::runtime::{faults, Daemon, Observer, Simulator, StepOutcome};
+use ssr::unison::{unison_sdr, Unison, UnisonSdr};
 
 fn render(states: &[ssr::core::Composed<u64>], width: usize) -> String {
     let mut out = String::new();
@@ -41,9 +41,7 @@ fn main() {
     let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.4 }, 99);
 
     // Let the healthy system run for a while.
-    for _ in 0..500 {
-        sim.step();
-    }
+    sim.execution().cap(500).run();
     println!("healthy system after 500 steps (all status C):");
     println!("{}", render(sim.states(), w));
 
@@ -55,17 +53,29 @@ fn main() {
     println!("{}", render(sim.states(), w));
     sim.reset_stats();
 
-    // Trace the repair: print the reset-status map every few steps.
-    let mut shots = 0;
-    while !check.is_normal_config(sim.graph(), sim.states()) {
-        sim.step();
-        if sim.stats().steps % 40 == 0 && shots < 6 {
-            println!("step {:>3}:", sim.stats().steps);
-            println!("{}", render(sim.states(), w));
-            shots += 1;
-        }
-        assert!(sim.stats().steps < 1_000_000, "must stabilize");
+    // Trace the repair with a snapshot probe: it prints the
+    // reset-status map every few steps while the execution drives the
+    // run to the normal configuration.
+    struct Snapshots {
+        width: usize,
+        shots: usize,
     }
+    impl Observer<UnisonSdr> for Snapshots {
+        fn on_step(&mut self, sim: &Simulator<'_, UnisonSdr>, _outcome: &StepOutcome) {
+            if sim.stats().steps % 40 == 0 && self.shots < 6 {
+                println!("step {:>3}:", sim.stats().steps);
+                println!("{}", render(sim.states(), self.width));
+                self.shots += 1;
+            }
+        }
+    }
+    let out = sim
+        .execution()
+        .cap(1_000_000)
+        .observe(Snapshots { width: w, shots: 0 })
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
+    assert!(out.reached, "must stabilize");
     println!(
         "recovered in {} rounds / {} moves (bound: 3n = {} rounds)",
         sim.stats().completed_rounds + 1,

@@ -33,7 +33,7 @@
 //! let init = algo.arbitrary_config(&g, 42); // transient-fault soup
 //! let check = unison_sdr(Unison::for_graph(&g));
 //! let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 7);
-//! let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+//! let out = sim.execution().cap(1_000_000).until(|gr, st| check.is_normal_config(gr, st)).run();
 //! assert!(out.reached && out.rounds_at_hit <= 30); // ≤ 3n rounds
 //! ```
 

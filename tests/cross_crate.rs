@@ -21,7 +21,11 @@ fn full_pipeline_unison_then_faults_then_recovery() {
     let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 0x2222);
 
     // Phase 1: stabilize from garbage.
-    let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(10_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
     assert!(out.reached && out.rounds_at_hit <= 3 * n);
 
     // Phase 2: healthy operation window.
@@ -36,7 +40,11 @@ fn full_pipeline_unison_then_faults_then_recovery() {
     let arbitrary = check.arbitrary_config(&g, 0x3333);
     ssr::runtime::faults::corrupt_random(&mut sim, 7, &mut rng, |u, _| arbitrary[u.index()]);
     sim.reset_stats();
-    let out = sim.run_until(10_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(10_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
     assert!(out.reached && out.rounds_at_hit <= 3 * n);
 }
 
@@ -51,7 +59,10 @@ fn sdr_generic_over_three_different_inputs() {
     let ca = Sdr::new(Agreement::new(5));
     let mut sa = Simulator::new(&g, a, ia, Daemon::Central, 1);
     assert!(
-        sa.run_until(10_000_000, |gr, st| ca.is_normal_config(gr, st))
+        sa.execution()
+            .cap(10_000_000)
+            .until(|gr, st| ca.is_normal_config(gr, st))
+            .run()
             .reached
     );
 
@@ -59,13 +70,17 @@ fn sdr_generic_over_three_different_inputs() {
     let iu = u.arbitrary_config(&g, 2);
     let cu = unison_sdr(Unison::for_graph(&g));
     let mut su = Simulator::new(&g, u, iu, Daemon::Central, 2);
-    let ou = su.run_until(10_000_000, |gr, st| cu.is_normal_config(gr, st));
+    let ou = su
+        .execution()
+        .cap(10_000_000)
+        .until(|gr, st| cu.is_normal_config(gr, st))
+        .run();
     assert!(ou.reached && ou.rounds_at_hit <= 3 * n);
 
     let f = fga_sdr(presets::domination(&g).unwrap());
     let fi = f.arbitrary_config(&g, 3);
     let mut sf = Simulator::new(&g, f, fi, Daemon::Central, 3);
-    assert!(sf.run_to_termination(10_000_000).terminal);
+    assert!(sf.execution().cap(10_000_000).run().terminal);
 }
 
 #[test]
@@ -106,7 +121,10 @@ fn three_reset_strategies_agree_on_outcome() {
     init[5].inner = 7;
     let mut s1 = Simulator::new(&g, sdr, init, Daemon::Central, 1);
     assert!(
-        s1.run_until(5_000_000, |gr, st| check.is_normal_config(gr, st))
+        s1.execution()
+            .cap(5_000_000)
+            .until(|gr, st| check.is_normal_config(gr, st))
+            .run()
             .reached
     );
     let c1: Vec<u64> = s1.states().iter().map(|s| s.inner).collect();
@@ -118,7 +136,10 @@ fn three_reset_strategies_agree_on_outcome() {
     clocks[5] = 7;
     let mut s2 = Simulator::new(&g, cfg, clocks, Daemon::Central, 2);
     assert!(
-        s2.run_until(5_000_000, |gr, st| spec::safety_holds(gr, st, k2))
+        s2.execution()
+            .cap(5_000_000)
+            .until(|gr, st| spec::safety_holds(gr, st, k2))
+            .run()
             .reached
     );
 
@@ -128,7 +149,10 @@ fn three_reset_strategies_agree_on_outcome() {
     minit[5].inner = 7;
     let mut s3 = Simulator::new(&g, mono, minit, Daemon::Central, 3);
     assert!(
-        s3.run_until(5_000_000, |gr, st| mcheck.is_normal_config(gr, st))
+        s3.execution()
+            .cap(5_000_000)
+            .until(|gr, st| mcheck.is_normal_config(gr, st))
+            .run()
             .reached
     );
 }
@@ -142,7 +166,11 @@ fn bounds_scale_across_sizes() {
         let init = algo.arbitrary_config(&g, n as u64);
         let check = unison_sdr(Unison::for_graph(&g));
         let mut sim = Simulator::new(&g, algo, init, Daemon::PreferHighRules, n as u64);
-        let out = sim.run_until(50_000_000, |gr, st| check.is_normal_config(gr, st));
+        let out = sim
+            .execution()
+            .cap(50_000_000)
+            .until(|gr, st| check.is_normal_config(gr, st))
+            .run();
         assert!(out.reached);
         assert!(out.rounds_at_hit <= spec::theorem7_round_bound(n as u64));
         assert!(out.moves_at_hit <= spec::theorem6_move_bound(n as u64, d));
@@ -160,7 +188,7 @@ fn alliance_verifiers_reject_corrupted_outputs() {
     let algo = fga_sdr(fga);
     let init = algo.initial_config(&g);
     let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 4);
-    assert!(sim.run_to_termination(5_000_000).terminal);
+    assert!(sim.execution().cap(5_000_000).run().terminal);
     let mut members = verify::members(sim.states().iter().map(|s| &s.inner));
     assert!(verify::is_one_minimal(&g, &f, &gg, &members));
     // Remove one member: on a ring-dominating set this breaks coverage.

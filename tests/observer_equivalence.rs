@@ -1,0 +1,287 @@
+//! Observer-equivalence pin: an [`Execution`] run with the migrated
+//! probes (`SegmentObserver`, `SpecObserver`, `AllianceObserver`)
+//! reproduces the exact `RunStats` and probe outputs of the
+//! pre-redesign hand-rolled stepping loops.
+//!
+//! Each `manual_*` function below is a literal replica of the loop the
+//! experiment layer used before the execution/observer redesign; the
+//! property tests (over a golden seed set plus generated seeds) assert
+//! byte-for-byte agreement with the observer-driven path. This is what
+//! guarantees the E1–E12 reproduction numbers survived the API
+//! redesign unchanged.
+
+use proptest::prelude::*;
+use ssr_alliance::verify::{self, AllianceObserver};
+use ssr_core::{toys::Agreement, Sdr, SegmentObserver, SegmentReport, SegmentTracker, Standalone};
+use ssr_graph::{generators, Graph};
+use ssr_runtime::{Algorithm, Daemon, RunStats, Simulator, StepOutcome};
+use ssr_unison::{spec, unison_sdr, Unison};
+
+/// The golden seed set pinning the equivalence on fixed trajectories.
+const GOLDEN_SEEDS: [u64; 6] = [0, 1, 0x5D2, 0xE3_00, 0xBEEF, 0x5EED_CAFE];
+
+fn daemon_from(idx: u8) -> Daemon {
+    match idx % 4 {
+        0 => Daemon::RandomSubset { p: 0.5 },
+        1 => Daemon::Central,
+        2 => Daemon::RoundRobin,
+        _ => Daemon::Synchronous,
+    }
+}
+
+/// Pre-redesign `run_until`: predicate checked on the initial
+/// configuration, then after every step, bounded by `max_steps`.
+/// Returns `(reached, terminal, steps_used, moves, rounds)`.
+fn manual_run_until<A: Algorithm>(
+    sim: &mut Simulator<'_, A>,
+    max_steps: u64,
+    mut predicate: impl FnMut(&Graph, &[A::State]) -> bool,
+) -> (bool, bool, u64, u64, u64) {
+    let mut steps_used = 0;
+    if predicate(sim.graph(), sim.states()) {
+        return (
+            true,
+            sim.is_terminal(),
+            steps_used,
+            sim.stats().moves,
+            sim.rounds_now(),
+        );
+    }
+    while steps_used < max_steps {
+        match sim.step() {
+            StepOutcome::Terminal => {
+                return (false, true, steps_used, sim.stats().moves, sim.rounds_now());
+            }
+            StepOutcome::Progress { .. } => {
+                steps_used += 1;
+                if predicate(sim.graph(), sim.states()) {
+                    return (
+                        true,
+                        sim.is_terminal(),
+                        steps_used,
+                        sim.stats().moves,
+                        sim.rounds_now(),
+                    );
+                }
+            }
+        }
+    }
+    (
+        false,
+        sim.is_terminal(),
+        steps_used,
+        sim.stats().moves,
+        sim.rounds_now(),
+    )
+}
+
+/// Pre-redesign E3 body: hand-rolled loop feeding a [`SegmentTracker`].
+fn manual_segments(graph_seed: u64, sim_seed: u64, daemon: Daemon) -> (SegmentReport, RunStats) {
+    let g = generators::random_connected(10, 5, graph_seed);
+    let sdr = Sdr::new(Agreement::new(6));
+    let init = sdr.arbitrary_config(&g, graph_seed ^ 0xF00D);
+    let mut tracker = SegmentTracker::new(&sdr, &g, &init);
+    let mut sim = Simulator::new(&g, sdr, init, daemon, sim_seed);
+    for _ in 0..100_000 {
+        match sim.step() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => tracker.after_step(
+                sim.algorithm(),
+                sim.graph(),
+                sim.states(),
+                sim.last_activated(),
+            ),
+        }
+    }
+    (tracker.report(), sim.stats().clone())
+}
+
+/// Observer-driven E3 body over the same scenario.
+fn observed_segments(graph_seed: u64, sim_seed: u64, daemon: Daemon) -> (SegmentReport, RunStats) {
+    let g = generators::random_connected(10, 5, graph_seed);
+    let sdr = Sdr::new(Agreement::new(6));
+    let init = sdr.arbitrary_config(&g, graph_seed ^ 0xF00D);
+    let mut probe = SegmentObserver::new(&sdr, &g, &init);
+    let mut sim = Simulator::new(&g, sdr, init, daemon, sim_seed);
+    sim.execution().cap(100_000).observe(&mut probe).run();
+    (probe.report(), sim.stats().clone())
+}
+
+/// Pre-redesign E6 body: stabilize, then a hand-rolled liveness window.
+fn manual_liveness(seed: u64, daemon: Daemon) -> (u64, u64, u64, usize, u64, RunStats) {
+    let g = generators::random_connected(8, 4, seed);
+    let algo = unison_sdr(Unison::for_graph(&g));
+    let k = algo.input().period();
+    let init = algo.arbitrary_config(&g, seed ^ 0xAB);
+    let check = unison_sdr(Unison::for_graph(&g));
+    let mut sim = Simulator::new(&g, algo, init, daemon, seed);
+    let (_, _, _, moves, rounds) =
+        manual_run_until(&mut sim, 5_000_000, |gr, st| check.is_normal_config(gr, st));
+    let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+    let mut monitor = spec::LivenessMonitor::new(&clocks);
+    let mut violations = 0usize;
+    let window = 50 * g.node_count() as u64;
+    for _ in 0..window {
+        sim.step();
+        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+        violations += spec::safety_violations(&g, &clocks, k);
+        monitor.observe(&clocks);
+    }
+    (
+        moves,
+        rounds,
+        monitor.min_increments(),
+        violations,
+        window,
+        sim.stats().clone(),
+    )
+}
+
+/// Observer-driven E6 body over the same scenario.
+fn observed_liveness(seed: u64, daemon: Daemon) -> (u64, u64, u64, usize, u64, RunStats) {
+    let g = generators::random_connected(8, 4, seed);
+    let algo = unison_sdr(Unison::for_graph(&g));
+    let init = algo.arbitrary_config(&g, seed ^ 0xAB);
+    let check = unison_sdr(Unison::for_graph(&g));
+    let mut sim = Simulator::new(&g, algo, init, daemon, seed);
+    let out = sim
+        .execution()
+        .cap(5_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
+    let mut probe = spec::SpecObserver::watching(&sim);
+    let window = 50 * g.node_count() as u64;
+    sim.execution().cap(window).observe(&mut probe).run();
+    (
+        out.moves_at_hit,
+        out.rounds_at_hit,
+        probe.min_increments(),
+        probe.safety_violations(),
+        window,
+        sim.stats().clone(),
+    )
+}
+
+#[test]
+fn golden_seeds_segment_probe_equivalence() {
+    for (i, &seed) in GOLDEN_SEEDS.iter().enumerate() {
+        let daemon = daemon_from(i as u8);
+        let manual = manual_segments(seed, seed ^ 7, daemon.clone());
+        let observed = observed_segments(seed, seed ^ 7, daemon.clone());
+        assert_eq!(manual, observed, "seed {seed} daemon {daemon:?}");
+    }
+}
+
+#[test]
+fn golden_seeds_liveness_probe_equivalence() {
+    for (i, &seed) in GOLDEN_SEEDS.iter().enumerate() {
+        let daemon = daemon_from(i as u8 + 1);
+        let manual = manual_liveness(seed, daemon.clone());
+        let observed = observed_liveness(seed, daemon.clone());
+        assert_eq!(manual, observed, "seed {seed} daemon {daemon:?}");
+    }
+}
+
+#[test]
+fn golden_seeds_alliance_probe_equivalence() {
+    for &seed in &GOLDEN_SEEDS {
+        let g = generators::random_connected(12, 7, seed);
+        let Ok(fga) = ssr_alliance::presets::domination(&g) else {
+            continue;
+        };
+        // Pre-redesign: run to termination, verify the final states
+        // inline with the definition-level checkers.
+        let f = fga.f().to_vec();
+        let gg = fga.g().to_vec();
+        let ids = fga.ids().to_vec();
+        let alg = Standalone::new(fga.clone());
+        let init = alg.initial_config(&g);
+        let mut sim = Simulator::new(&g, alg, init, Daemon::Central, seed);
+        let mut steps = 0u64;
+        while steps < 10_000_000 {
+            match sim.step() {
+                StepOutcome::Terminal => break,
+                StepOutcome::Progress { .. } => steps += 1,
+            }
+        }
+        let members = verify::members(sim.states().iter());
+        let manual = (
+            verify::is_alliance(&g, &f, &gg, &members),
+            verify::is_one_minimal(&g, &f, &gg, &members),
+            verify::gap_explained_by_gslack_corner(&g, &f, &gg, &ids, &members),
+            members,
+            sim.stats().clone(),
+        );
+
+        // Observer-driven path over the same scenario.
+        let mut probe = AllianceObserver::new(&fga);
+        let alg = Standalone::new(fga);
+        let init = alg.initial_config(&g);
+        let mut sim = Simulator::new(&g, alg, init, Daemon::Central, seed);
+        sim.execution().cap(10_000_000).observe(&mut probe).run();
+        let v = probe.into_verdict().expect("sampled at run end");
+        let observed = (
+            v.alliance,
+            v.one_minimal,
+            v.corner_ok,
+            v.members,
+            sim.stats().clone(),
+        );
+        assert_eq!(manual, observed, "seed {seed}");
+    }
+}
+
+proptest! {
+    /// `Execution::until` reproduces the pre-redesign `run_until`
+    /// exactly: outcome fields, counters, and final configuration.
+    #[test]
+    fn execution_matches_manual_run_until(
+        n in 4usize..12,
+        seed in 0u64..1000,
+        daemon_idx in 0u8..4,
+        cap_idx in 0usize..3,
+    ) {
+        let cap = [3u64, 50, 5_000_000][cap_idx];
+        let build = || {
+            let g = generators::random_connected(n, n / 2, seed);
+            let sdr = Sdr::new(Agreement::new(5));
+            let init = sdr.arbitrary_config(&g, seed ^ 0xC0FFEE);
+            (g, sdr, init)
+        };
+        let (g, sdr, init) = build();
+        let check = Sdr::new(Agreement::new(5));
+        let mut manual_sim = Simulator::new(&g, sdr, init, daemon_from(daemon_idx), seed);
+        let manual =
+            manual_run_until(&mut manual_sim, cap, |gr, st| check.is_normal_config(gr, st));
+
+        let (g2, sdr2, init2) = build();
+        let check2 = Sdr::new(Agreement::new(5));
+        let mut sim = Simulator::new(&g2, sdr2, init2, daemon_from(daemon_idx), seed);
+        let out = sim
+            .execution()
+            .cap(cap)
+            .until(|gr, st| check2.is_normal_config(gr, st))
+            .run();
+
+        prop_assert_eq!(
+            manual,
+            (out.reached, out.terminal, out.steps_used, out.moves_at_hit, out.rounds_at_hit)
+        );
+        prop_assert_eq!(manual_sim.stats(), sim.stats());
+        prop_assert_eq!(manual_sim.states(), sim.states());
+    }
+
+    /// The segment probe equivalence as a property over random seeds.
+    #[test]
+    fn segment_probe_matches_manual_tracking(
+        graph_seed in 0u64..500,
+        sim_seed in 0u64..500,
+        daemon_idx in 0u8..4,
+    ) {
+        let daemon = daemon_from(daemon_idx);
+        prop_assert_eq!(
+            manual_segments(graph_seed, sim_seed, daemon.clone()),
+            observed_segments(graph_seed, sim_seed, daemon)
+        );
+    }
+}

@@ -24,7 +24,11 @@ fn quickstart_ring_stabilizes_within_paper_bounds() {
     // The distributed daemon activates arbitrary non-empty subsets of
     // the enabled processes; RandomSubset samples such schedules.
     let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 7);
-    let out = sim.run_until(1_000_000, |gr, st| check.is_normal_config(gr, st));
+    let out = sim
+        .execution()
+        .cap(1_000_000)
+        .until(|gr, st| check.is_normal_config(gr, st))
+        .run();
 
     assert!(out.reached, "U ∘ SDR must stabilize");
     assert!(
