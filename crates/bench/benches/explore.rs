@@ -1,0 +1,107 @@
+//! Frontier throughput of the exhaustive explorer: distinct states
+//! interned per second over the tiny-suite workloads, sequential vs
+//! parallel frontier expansion.
+//!
+//! Besides the criterion groups, `main` prints an explicit states/sec
+//! figure per workload (the vendored criterion subset has no
+//! throughput reporting) and sanity-checks that the parallel frontier
+//! returns byte-identical results.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ssr_core::{toys::Agreement, Sdr};
+use ssr_explore::{explore, Exploration, ExploreOptions};
+use ssr_graph::{generators, Graph};
+use ssr_unison::{unison_sdr, Unison};
+
+fn sdr_workload(g: &Graph, threads: usize) -> Exploration<ssr_core::Composed<u32>> {
+    let sdr = Sdr::new(Agreement::new(2));
+    let check = Sdr::new(Agreement::new(2));
+    let inits: Vec<_> = (0..6).map(|s| sdr.arbitrary_config(g, s)).collect();
+    explore(
+        g,
+        &sdr,
+        &inits,
+        |gr, st| check.is_normal_config(gr, st),
+        &ExploreOptions {
+            threads,
+            ..ExploreOptions::default()
+        },
+    )
+    .expect("tiny workload fits the limits")
+}
+
+fn unison_workload(g: &Graph, threads: usize) -> Exploration<ssr_core::Composed<u64>> {
+    let algo = unison_sdr(Unison::for_graph(g));
+    let check = unison_sdr(Unison::for_graph(g));
+    let inits: Vec<_> = (0..6).map(|s| algo.arbitrary_config(g, s)).collect();
+    explore(
+        g,
+        &algo,
+        &inits,
+        |gr, st| check.is_normal_config(gr, st),
+        &ExploreOptions {
+            threads,
+            ..ExploreOptions::default()
+        },
+    )
+    .expect("tiny workload fits the limits")
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let path = generators::path(6);
+    let wheel = generators::wheel(6);
+    let mut group = c.benchmark_group("explore_frontier");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sdr-path6", "1-thread"), |b| {
+        b.iter(|| sdr_workload(&path, 1))
+    });
+    group.bench_function(BenchmarkId::new("sdr-path6", "4-threads"), |b| {
+        b.iter(|| sdr_workload(&path, 4))
+    });
+    group.bench_function(BenchmarkId::new("unison-wheel6", "1-thread"), |b| {
+        b.iter(|| unison_workload(&wheel, 1))
+    });
+    group.bench_function(BenchmarkId::new("unison-wheel6", "4-threads"), |b| {
+        b.iter(|| unison_workload(&wheel, 4))
+    });
+    group.finish();
+}
+
+/// A workload runner: threads in, (states, transitions) out.
+type Workload<'a> = &'a dyn Fn(usize) -> (usize, usize);
+
+/// Prints states/sec per workload and pins parallel determinism.
+fn throughput_check() {
+    let path = generators::path(6);
+    let wheel = generators::wheel(6);
+    let runs: [(&str, Workload<'_>); 2] = [
+        ("sdr-path6", &|t| {
+            let ex = sdr_workload(&path, t);
+            (ex.states, ex.transitions)
+        }),
+        ("unison-wheel6", &|t| {
+            let ex = unison_workload(&wheel, t);
+            (ex.states, ex.transitions)
+        }),
+    ];
+    for (label, run) in runs {
+        let t = Instant::now();
+        let (states, transitions) = run(1);
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "explore/{label}: {states} states, {transitions} transitions, \
+             {:.0} states/sec sequential",
+            states as f64 / secs
+        );
+        assert_eq!((states, transitions), run(4), "parallel must be identical");
+    }
+}
+
+criterion_group!(benches, bench_explore);
+
+fn main() {
+    benches();
+    throughput_check();
+}

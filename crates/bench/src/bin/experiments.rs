@@ -7,11 +7,17 @@
 //! ```text
 //! cargo run -p ssr-bench --bin experiments --release                 # all tables
 //! cargo run -p ssr-bench --bin experiments --release -- e4          # a subset
+//! cargo run -p ssr-bench --bin experiments --release -- --only E4,E13 # explicit subset
 //! cargo run -p ssr-bench --bin experiments --release -- --quick     # small sweep
 //! cargo run -p ssr-bench --bin experiments --release -- --list      # ids + claims
 //! cargo run -p ssr-bench --bin experiments --release -- --threads 8 # worker count
 //! cargo run -p ssr-bench --bin experiments --release -- --format json
 //! ```
+//!
+//! `--only E<k>[,E<k>...]` is the flag complement of `--list`: it
+//! selects experiment groups by id (case-insensitive, `+`-joined group
+//! ids match any part), exactly like bare positional ids, but is
+//! explicit enough for CI pipelines.
 //!
 //! Results are byte-identical for any `--threads` value (the campaign
 //! engine's determinism contract). `--format json` additionally writes
@@ -101,10 +107,22 @@ fn parse_cli() -> Result<Cli, String> {
                 }
             }
             "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?),
+            "--only" => {
+                let v = it.next().ok_or("--only needs E<k>[,E<k>...]")?;
+                let ids: Vec<String> = v
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if ids.is_empty() {
+                    return Err(format!("--only got no experiment ids in {v:?}"));
+                }
+                cli.wanted.extend(ids);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unrecognized flag {flag:?} (known: --quick --list --threads N \
-                     --format table|json --out PATH)"
+                    "unrecognized flag {flag:?} (known: --quick --list --only E<k>[,E<k>...] \
+                     --threads N --format table|json --out PATH)"
                 ));
             }
             id => cli.wanted.push(id.to_lowercase()),
@@ -159,7 +177,7 @@ fn main() {
 
     if selected.is_empty() {
         eprintln!(
-            "error: no experiment group matches {:?} (try e1 … e12, or --list)",
+            "error: no experiment group matches {:?} (try e1 … e13, or --list)",
             cli.wanted
         );
         std::process::exit(2);

@@ -1,12 +1,12 @@
 //! Workload generators shared by the experiments and benches.
 
-use ssr_core::{Composed, SdrState, Status};
 use ssr_graph::{generators, Graph};
 use ssr_runtime::Daemon;
 
-// The tear workloads migrated to the campaign layer (they back its
-// `InitPlan::Tear`); re-exported here for the benches.
-pub use ssr_campaign::workloads::{unison_tear, unison_tear_plain};
+// The adversarial init workloads migrated to the campaign layer (the
+// tears back its `InitPlan::Tear`, the broadcast chain seeds the
+// explorer's init sets); re-exported here for the benches.
+pub use ssr_campaign::workloads::{sdr_broadcast_chain, unison_tear, unison_tear_plain};
 
 /// Topology families swept by the experiments (label, builder).
 pub fn topology_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
@@ -33,32 +33,10 @@ pub fn daemon_suite() -> Vec<Daemon> {
     ]
 }
 
-/// A hand-crafted near-worst-case SDR configuration: one long reset
-/// branch in mid-broadcast — node `i` has status `RB` with distance `i`
-/// (a maximal-depth chain per Lemma 7), the far end already in
-/// feedback, and stale inner values everywhere.
-///
-/// Feedback must climb the whole chain before the completion wave walks
-/// back down, which is the mechanism behind the `3n`-round bound.
-pub fn sdr_broadcast_chain<I: ssr_core::ResetInput>(
-    sdr: &ssr_core::Sdr<I>,
-    graph: &Graph,
-) -> Vec<Composed<I::State>> {
-    let n = graph.node_count();
-    graph
-        .nodes()
-        .map(|u| {
-            let i = u.index();
-            let status = if i + 1 == n { Status::RF } else { Status::RB };
-            Composed::new(SdrState::new(status, i as u32), sdr.input().reset_state(u))
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_core::{toys::Agreement, Sdr};
+    use ssr_core::{toys::Agreement, Sdr, Status};
     use ssr_runtime::Simulator;
 
     #[test]

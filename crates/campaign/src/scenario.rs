@@ -39,6 +39,10 @@ pub enum TopologySpec {
     Hypercube,
     /// Clique of `max(n/2, 3)` nodes with a tail of the remainder.
     Lollipop,
+    /// Caterpillar: spine of `max(n/2, 1)` nodes, one pendant leaf each.
+    Caterpillar,
+    /// Wheel on `max(n, 4)` nodes: hub 0 plus a rim cycle.
+    Wheel,
     /// Connected Erdős–Rényi graph, edge probability `per_mille/1000`.
     Gnp {
         /// Edge probability in thousandths (kept integral so the spec
@@ -62,6 +66,8 @@ impl TopologySpec {
             TopologySpec::Complete => "complete".into(),
             TopologySpec::Hypercube => "hypercube".into(),
             TopologySpec::Lollipop => "lollipop".into(),
+            TopologySpec::Caterpillar => "caterpillar".into(),
+            TopologySpec::Wheel => "wheel".into(),
             TopologySpec::Gnp { per_mille } => format!("gnp({per_mille}e-3)"),
         }
     }
@@ -93,6 +99,8 @@ impl TopologySpec {
                 let clique = (n / 2).max(3);
                 generators::lollipop(clique, n.saturating_sub(clique).max(1))
             }
+            TopologySpec::Caterpillar => generators::caterpillar((n / 2).max(1), 1),
+            TopologySpec::Wheel => generators::wheel(n.max(4)),
             TopologySpec::Gnp { per_mille } => {
                 generators::gnp_connected(n.max(2), *per_mille as f64 / 1000.0, seed)
             }
@@ -326,6 +334,8 @@ mod tests {
             TopologySpec::Complete,
             TopologySpec::Hypercube,
             TopologySpec::Lollipop,
+            TopologySpec::Caterpillar,
+            TopologySpec::Wheel,
             TopologySpec::Gnp { per_mille: 300 },
         ];
         let mut labels: Vec<String> = all.iter().map(|t| t.label()).collect();
@@ -348,6 +358,8 @@ mod tests {
             TopologySpec::Complete,
             TopologySpec::Hypercube,
             TopologySpec::Lollipop,
+            TopologySpec::Caterpillar,
+            TopologySpec::Wheel,
             TopologySpec::Gnp { per_mille: 400 },
         ] {
             let g = spec.build(12, 7);

@@ -32,6 +32,28 @@ pub fn unison_tear_plain(graph: &Graph, period: u64, gap: u64) -> Vec<u64> {
         .collect()
 }
 
+/// A hand-crafted near-worst-case SDR configuration: one long reset
+/// branch in mid-broadcast — node `i` has status `RB` with distance `i`
+/// (a maximal-depth chain per Lemma 7), the far end already in
+/// feedback, and the input reset everywhere.
+///
+/// Feedback must climb the whole chain before the completion wave walks
+/// back down, which is the mechanism behind the `3n`-round bound.
+pub fn sdr_broadcast_chain<I: ssr_core::ResetInput>(
+    sdr: &ssr_core::Sdr<I>,
+    graph: &Graph,
+) -> Vec<Composed<I::State>> {
+    let n = graph.node_count();
+    graph
+        .nodes()
+        .map(|u| {
+            let i = u.index();
+            let status = if i + 1 == n { Status::RF } else { Status::RB };
+            Composed::new(SdrState::new(status, i as u32), sdr.input().reset_state(u))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

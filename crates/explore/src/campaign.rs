@@ -1,0 +1,521 @@
+//! Exhaustive mode for `ssr-campaign` scenarios: expand a declarative
+//! [`Scenario`] into an exhaustive exploration instead of one
+//! stochastic run.
+//!
+//! [`explore_scenario`] is a drop-in runner for
+//! `ssr_campaign::engine::run_with`, mirroring how the stochastic
+//! experiments drive the engine — the same topology/size/algorithm
+//! axes, the same index-derived seeds, hence the same determinism
+//! contract. For each scenario it derives a fixed *seed set* of
+//! initial configurations (the designated `γ_init`, adversarial
+//! samples, and the structured worst-case workloads), exhausts every
+//! daemon choice from all of them, and reports the exact worst case
+//! next to the paper's closed-form bound.
+//!
+//! [`stochastic_max`] runs the ordinary stochastic simulator over the
+//! *same* initial configurations (all daemon strategies × trials) —
+//! the observable maxima it returns are guaranteed to be dominated by
+//! the exact worst case, which is exactly the cross-validation E13 and
+//! the property tests assert.
+
+use ssr_campaign::workloads::{sdr_broadcast_chain, unison_tear};
+use ssr_campaign::{AlgorithmSpec, Scenario};
+use ssr_core::{toys::Agreement, Sdr};
+use ssr_graph::Graph;
+use ssr_runtime::rng::splitmix64;
+use ssr_runtime::{Algorithm, ConfigView, Daemon, Execution};
+use ssr_unison::{spec, unison_sdr, Unison};
+
+use crate::encode::ExploreState;
+use crate::engine::{explore, Exploration, ExploreError, ExploreOptions};
+
+/// Options for scenario-level exhaustive runs.
+#[derive(Clone, Debug)]
+pub struct ScenarioExploreOptions {
+    /// The underlying explorer configuration.
+    pub explore: ExploreOptions,
+    /// Number of adversarial (`arbitrary_config`) samples in the
+    /// initial seed set, on top of `γ_init` and the structured
+    /// worst-case workloads.
+    pub init_samples: usize,
+    /// Trials per daemon strategy for [`stochastic_max`].
+    pub stochastic_trials: u64,
+}
+
+impl Default for ScenarioExploreOptions {
+    fn default() -> Self {
+        ScenarioExploreOptions {
+            explore: ExploreOptions::default(),
+            init_samples: 4,
+            stochastic_trials: 2,
+        }
+    }
+}
+
+/// Flat result of one exhaustive scenario (the explorer's analogue of
+/// `ScenarioRecord`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExhaustiveRecord {
+    /// Grid index of the scenario.
+    pub index: usize,
+    /// Topology label.
+    pub topology: String,
+    /// Nominal size.
+    pub n: usize,
+    /// Actual node count.
+    pub nodes: u64,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Daemon class explored.
+    pub daemon_class: &'static str,
+    /// Size of the initial seed set.
+    pub init_count: usize,
+    /// Distinct configurations reached.
+    pub states: u64,
+    /// Transitions enumerated.
+    pub transitions: u64,
+    /// Exact worst-case moves to legitimacy over every schedule.
+    pub exact_moves: u64,
+    /// Exact worst-case steps.
+    pub exact_steps: u64,
+    /// Exact worst-case rounds.
+    pub exact_rounds: u64,
+    /// The paper's closed-form move bound, where one exists.
+    pub bound_moves: Option<u64>,
+    /// The paper's closed-form round bound.
+    pub bound_rounds: Option<u64>,
+    /// Convergence + closure exhaustively verified.
+    pub verified: bool,
+    /// Exact worst cases within every applicable closed-form bound.
+    pub within_bounds: bool,
+    /// Both witness schedules replayed through `Execution`
+    /// byte-identically (moves, steps, rounds, predicate hit).
+    pub replay_ok: bool,
+    /// The exploration failed (limits); the other fields are zeroed.
+    pub error: Option<String>,
+}
+
+impl ExhaustiveRecord {
+    /// Overall verdict of the row.
+    pub fn ok(&self) -> bool {
+        self.error.is_none() && self.verified && self.within_bounds && self.replay_ok
+    }
+}
+
+/// Observed maxima of stochastic runs over the same initial seed set
+/// (see [`stochastic_max`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StochasticMax {
+    /// Maximum moves to legitimacy over all runs.
+    pub moves: u64,
+    /// Maximum rounds over all runs.
+    pub rounds: u64,
+    /// Whether every run reached legitimacy within the step cap.
+    pub all_reached: bool,
+    /// Number of runs performed.
+    pub runs: usize,
+}
+
+/// Seeds for the adversarial samples, derived from the scenario seed
+/// (shared by [`explore_scenario`] and [`stochastic_max`] so both
+/// operate on the identical initial seed set).
+fn sample_seeds(sc: &Scenario, samples: usize) -> Vec<u64> {
+    let mut state = sc.seed ^ 0xE13_5EED;
+    (0..samples).map(|_| splitmix64(&mut state)).collect()
+}
+
+/// A consumer of one family's fully-built exploration problem.
+///
+/// The domination cross-check (stochastic maxima ≤ exact worst case)
+/// is only sound if [`explore_scenario`] and [`stochastic_max`]
+/// operate on *identical* initial seed sets and legitimacy predicates,
+/// so that construction lives once in [`dispatch_family`] and both
+/// entry points are visitors over it.
+trait FamilyVisitor {
+    type Out;
+    fn visit<A, P>(
+        self,
+        graph: &Graph,
+        algo: &A,
+        inits: Vec<Vec<A::State>>,
+        legit: P,
+        bounds: (Option<u64>, Option<u64>),
+    ) -> Self::Out
+    where
+        A: Algorithm + Sync + Clone,
+        A::State: ExploreState + Send + Sync,
+        P: Fn(&Graph, &[A::State]) -> bool + Clone;
+}
+
+/// Builds the scenario's family once — algorithm instance, the initial
+/// seed set (`γ_init`, broadcast chain, tear for the unison family,
+/// adversarial samples), legitimacy predicate, and the paper's
+/// closed-form `(moves, rounds)` bounds — and hands it to `visitor`.
+///
+/// Supported families: pure SDR (Agreement), `U ∘ SDR`, `FGA ∘ SDR`.
+/// Everything else returns `None` (mirroring the `Verdict::Skip`
+/// convention of the stochastic runner).
+fn dispatch_family<V: FamilyVisitor>(
+    sc: &Scenario,
+    g: &Graph,
+    samples: usize,
+    visitor: V,
+) -> Option<V::Out> {
+    let nn = g.node_count() as u64;
+    let seeds = sample_seeds(sc, samples);
+    match sc.algorithm {
+        AlgorithmSpec::SdrAgreement { domain } => {
+            let algo = Sdr::new(Agreement::new(domain));
+            let check = Sdr::new(Agreement::new(domain));
+            let mut inits = vec![algo.initial_config(g), sdr_broadcast_chain(&algo, g)];
+            inits.extend(seeds.iter().map(|&s| algo.arbitrary_config(g, s)));
+            // Cor. 5 (rounds); Cor. 4 summed over processes (Agreement
+            // has no rules of its own, so every move is an SDR move).
+            let bounds = (Some(nn * (3 * nn + 3)), Some(3 * nn));
+            Some(visitor.visit(
+                g,
+                &algo,
+                inits,
+                move |gr: &Graph, st: &[_]| check.is_normal_config(gr, st),
+                bounds,
+            ))
+        }
+        AlgorithmSpec::UnisonSdr => {
+            let algo = unison_sdr(Unison::for_graph(g));
+            let check = unison_sdr(Unison::for_graph(g));
+            let period = algo.input().period();
+            let mut inits = vec![
+                algo.initial_config(g),
+                sdr_broadcast_chain(&algo, g),
+                unison_tear(g, period, (nn / 2).max(1)),
+            ];
+            inits.extend(seeds.iter().map(|&s| algo.arbitrary_config(g, s)));
+            let d = ssr_graph::metrics::diameter(g).max(1) as u64;
+            // Thm 6 (moves) and Thm 7 (rounds).
+            let bounds = (
+                Some(spec::theorem6_move_bound(nn, d)),
+                Some(spec::theorem7_round_bound(nn)),
+            );
+            Some(visitor.visit(
+                g,
+                &algo,
+                inits,
+                move |gr: &Graph, st: &[_]| check.is_normal_config(gr, st),
+                bounds,
+            ))
+        }
+        AlgorithmSpec::FgaSdr { preset } => {
+            let fga = preset.build(g)?;
+            let algo = ssr_alliance::fga_sdr(fga);
+            let check = algo.clone();
+            let mut inits = vec![algo.initial_config(g), sdr_broadcast_chain(&algo, g)];
+            inits.extend(seeds.iter().map(|&s| algo.arbitrary_config(g, s)));
+            let m = g.edge_count() as u64;
+            let delta = g.max_degree() as u64;
+            // FGA ∘ SDR is silent: legitimate = terminal (Thm 11), so
+            // the target predicate is terminality, measured against
+            // Thm 12 (moves) and Thm 14 (rounds).
+            let bounds = (
+                Some(ssr_alliance::verify::theorem12_move_bound(nn, m, delta)),
+                Some(ssr_alliance::verify::theorem14_round_bound(nn)),
+            );
+            Some(visitor.visit(
+                g,
+                &algo,
+                inits,
+                move |gr: &Graph, st: &[_]| {
+                    let view = ConfigView::new(gr, st);
+                    gr.nodes().all(|u| check.enabled_mask(u, &view).is_empty())
+                },
+                bounds,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Exhaustively explores a scenario's family: pure SDR (Agreement),
+/// `U ∘ SDR`, or `FGA ∘ SDR`; `None` for unsupported families
+/// (mirroring the `Verdict::Skip` convention of the stochastic
+/// runner). The seed-set construction is shared with
+/// [`stochastic_max`] — both always operate on identical initial
+/// configurations.
+pub fn explore_scenario(sc: &Scenario, opts: &ScenarioExploreOptions) -> Option<ExhaustiveRecord> {
+    let [graph_seed, _, _, _] = sc.seeds::<4>();
+    let g = sc.topology.build(sc.n, graph_seed);
+    struct Explore<'a>(&'a ScenarioExploreOptions);
+    impl FamilyVisitor for Explore<'_> {
+        type Out = FamilyOutcome;
+        fn visit<A, P>(
+            self,
+            graph: &Graph,
+            algo: &A,
+            inits: Vec<Vec<A::State>>,
+            legit: P,
+            bounds: (Option<u64>, Option<u64>),
+        ) -> FamilyOutcome
+        where
+            A: Algorithm + Sync + Clone,
+            A::State: ExploreState + Send + Sync,
+            P: Fn(&Graph, &[A::State]) -> bool + Clone,
+        {
+            run_family(graph, algo, inits, legit, bounds, self.0)
+        }
+    }
+    let rec = dispatch_family(sc, &g, opts.init_samples, Explore(opts))?;
+    Some(finish_record(sc, &g, rec))
+}
+
+/// Runs the stochastic simulator over the scenario's exhaustive seed
+/// set: every [`Daemon::all_strategies`] entry ×
+/// [`ScenarioExploreOptions::stochastic_trials`] trials per initial
+/// configuration, reporting the observed maxima.
+pub fn stochastic_max(sc: &Scenario, opts: &ScenarioExploreOptions) -> Option<StochasticMax> {
+    let [graph_seed, _, _, _] = sc.seeds::<4>();
+    let g = sc.topology.build(sc.n, graph_seed);
+    struct Stochastic<'a> {
+        sc: &'a Scenario,
+        opts: &'a ScenarioExploreOptions,
+    }
+    impl FamilyVisitor for Stochastic<'_> {
+        type Out = StochasticMax;
+        fn visit<A, P>(
+            self,
+            graph: &Graph,
+            algo: &A,
+            inits: Vec<Vec<A::State>>,
+            legit: P,
+            _bounds: (Option<u64>, Option<u64>),
+        ) -> StochasticMax
+        where
+            A: Algorithm + Sync + Clone,
+            A::State: ExploreState + Send + Sync,
+            P: Fn(&Graph, &[A::State]) -> bool + Clone,
+        {
+            run_stochastic(graph, algo, &inits, legit, self.sc, self.opts)
+        }
+    }
+    dispatch_family(sc, &g, opts.init_samples, Stochastic { sc, opts })
+}
+
+/// Explores one family and validates the witnesses by replay.
+fn run_family<A, P>(
+    graph: &Graph,
+    algo: &A,
+    inits: Vec<Vec<A::State>>,
+    legit: P,
+    bounds: (Option<u64>, Option<u64>),
+    opts: &ScenarioExploreOptions,
+) -> FamilyOutcome
+where
+    A: Algorithm + Sync + Clone,
+    A::State: ExploreState + Send + Sync,
+    P: Fn(&Graph, &[A::State]) -> bool + Clone,
+{
+    let init_count = inits.len();
+    let daemon_class = opts.explore.daemon.label();
+    match explore(graph, algo, &inits, legit.clone(), &opts.explore) {
+        Err(err) => FamilyOutcome {
+            init_count,
+            daemon_class,
+            bounds,
+            result: Err(err),
+        },
+        Ok(ex) => {
+            let mut replay_ok = true;
+            for w in [&ex.witness_moves, &ex.witness_rounds]
+                .into_iter()
+                .flatten()
+            {
+                let p = legit.clone();
+                let out = w.replay(graph, algo.clone(), inits[w.init].clone(), move |gr, st| {
+                    p(gr, st)
+                });
+                replay_ok &= w.matches(&out);
+            }
+            FamilyOutcome {
+                init_count,
+                daemon_class,
+                bounds,
+                result: Ok((summarize(&ex), replay_ok)),
+            }
+        }
+    }
+}
+
+/// The type-erased part of an exploration a record needs.
+struct ExploreSummary {
+    states: u64,
+    transitions: u64,
+    verified: bool,
+    worst: Option<crate::engine::WorstCase>,
+}
+
+fn summarize<S>(ex: &Exploration<S>) -> ExploreSummary {
+    ExploreSummary {
+        states: ex.states as u64,
+        transitions: ex.transitions as u64,
+        verified: ex.verified(),
+        worst: ex.worst,
+    }
+}
+
+struct FamilyOutcome {
+    init_count: usize,
+    daemon_class: &'static str,
+    bounds: (Option<u64>, Option<u64>),
+    result: Result<(ExploreSummary, bool), ExploreError>,
+}
+
+fn finish_record(sc: &Scenario, g: &Graph, out: FamilyOutcome) -> ExhaustiveRecord {
+    let (bound_moves, bound_rounds) = out.bounds;
+    let mut rec = ExhaustiveRecord {
+        index: sc.index,
+        topology: sc.topology.label(),
+        n: sc.n,
+        nodes: g.node_count() as u64,
+        algorithm: sc.algorithm.label(),
+        daemon_class: out.daemon_class,
+        init_count: out.init_count,
+        states: 0,
+        transitions: 0,
+        exact_moves: 0,
+        exact_steps: 0,
+        exact_rounds: 0,
+        bound_moves,
+        bound_rounds,
+        verified: false,
+        within_bounds: false,
+        replay_ok: false,
+        error: None,
+    };
+    match out.result {
+        Err(err) => rec.error = Some(err.to_string()),
+        Ok((summary, replay_ok)) => {
+            rec.states = summary.states;
+            rec.transitions = summary.transitions;
+            rec.verified = summary.verified;
+            rec.replay_ok = replay_ok;
+            if let Some(w) = summary.worst {
+                rec.exact_moves = w.moves;
+                rec.exact_steps = w.steps;
+                rec.exact_rounds = w.rounds;
+                rec.within_bounds = bound_moves.is_none_or(|b| w.moves <= b)
+                    && bound_rounds.is_none_or(|b| w.rounds <= b);
+            }
+        }
+    }
+    rec
+}
+
+fn run_stochastic<A, P>(
+    graph: &Graph,
+    algo: &A,
+    inits: &[Vec<A::State>],
+    legit: P,
+    sc: &Scenario,
+    opts: &ScenarioExploreOptions,
+) -> StochasticMax
+where
+    A: Algorithm + Clone,
+    P: Fn(&Graph, &[A::State]) -> bool + Clone,
+{
+    let mut max = StochasticMax {
+        all_reached: true,
+        ..StochasticMax::default()
+    };
+    let mut seed_state = sc.seed ^ 0x570C_4A57;
+    for init in inits {
+        for daemon in Daemon::all_strategies() {
+            for _ in 0..opts.stochastic_trials {
+                let p = legit.clone();
+                let out = Execution::of(graph, algo.clone())
+                    .init(init.clone())
+                    .daemon(daemon.clone())
+                    .seed(splitmix64(&mut seed_state))
+                    .cap(sc.step_cap)
+                    .until(move |gr, st| p(gr, st))
+                    .run();
+                max.runs += 1;
+                max.all_reached &= out.reached;
+                if out.reached {
+                    max.moves = max.moves.max(out.moves_at_hit);
+                    max.rounds = max.rounds.max(out.rounds_at_hit);
+                }
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_campaign::{InitPlan, TopologySpec};
+
+    fn scenario(topology: TopologySpec, n: usize, algorithm: AlgorithmSpec) -> Scenario {
+        Scenario {
+            index: 0,
+            topology,
+            n,
+            algorithm,
+            daemon: Daemon::Central,
+            init: InitPlan::Arbitrary,
+            trial: 0,
+            seed: 0xE13,
+            step_cap: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn sdr_agreement_scenario_verifies_exactly() {
+        let sc = scenario(
+            TopologySpec::Path,
+            4,
+            AlgorithmSpec::SdrAgreement { domain: 2 },
+        );
+        let rec = explore_scenario(&sc, &ScenarioExploreOptions::default()).expect("supported");
+        assert!(rec.ok(), "{rec:?}");
+        assert!(rec.exact_rounds <= rec.bound_rounds.unwrap());
+        assert!(rec.exact_moves <= rec.bound_moves.unwrap());
+        assert!(rec.states > 0);
+    }
+
+    #[test]
+    fn stochastic_maxima_dominated_by_exact_worst_case() {
+        let sc = scenario(
+            TopologySpec::Star,
+            4,
+            AlgorithmSpec::SdrAgreement { domain: 2 },
+        );
+        let opts = ScenarioExploreOptions::default();
+        let rec = explore_scenario(&sc, &opts).unwrap();
+        let stoch = stochastic_max(&sc, &opts).unwrap();
+        assert!(rec.ok(), "{rec:?}");
+        assert!(stoch.all_reached);
+        assert!(stoch.moves <= rec.exact_moves, "{stoch:?} vs {rec:?}");
+        assert!(stoch.rounds <= rec.exact_rounds, "{stoch:?} vs {rec:?}");
+    }
+
+    #[test]
+    fn unsupported_families_are_skipped() {
+        let sc = scenario(TopologySpec::Ring, 4, AlgorithmSpec::CfgUnison);
+        assert!(explore_scenario(&sc, &ScenarioExploreOptions::default()).is_none());
+        assert!(stochastic_max(&sc, &ScenarioExploreOptions::default()).is_none());
+    }
+
+    #[test]
+    fn state_space_limit_reports_an_error_row() {
+        let sc = scenario(TopologySpec::Ring, 5, AlgorithmSpec::UnisonSdr);
+        let opts = ScenarioExploreOptions {
+            explore: ExploreOptions {
+                max_states: 10,
+                ..ExploreOptions::default()
+            },
+            ..ScenarioExploreOptions::default()
+        };
+        let rec = explore_scenario(&sc, &opts).unwrap();
+        assert!(rec.error.is_some());
+        assert!(!rec.ok());
+    }
+}

@@ -1,0 +1,235 @@
+//! Canonical state encoding: the bridge between the runtime's
+//! `Algorithm::State` bound (`Clone + PartialEq` — deliberately *not*
+//! `Hash`) and the explorer's need to deduplicate configurations.
+//!
+//! [`ExploreState`] turns one per-process state into a canonical
+//! sequence of `u64` words; a configuration's key is the concatenation
+//! of its nodes' words (node order is the canonical order). Two states
+//! must encode identically **iff they are behaviorally equivalent**:
+//! the encoding is allowed to *quotient away* dead variables, and does
+//! so for SDR's distance — `d_u` is meaningless while `st_u = C`
+//! (§3.2: no predicate ever reads it in that case, and every rule that
+//! leaves `C` overwrites it), so `(C, 7)` and `(C, 0)` are the same
+//! canonical state. This quotient shrinks the reachable space
+//! considerably: after `rule_C` a process parks at `(C, d)` with
+//! whatever distance the reset wave left behind, and without the
+//! canonicalization every historical `d` value would split the state.
+//!
+//! Implementations exist for every state type the workspace runs:
+//! primitives (clocks, counters, toy inputs), [`SdrState`], the
+//! product [`Composed<S>`] (covering SDR over any encoded input:
+//! `U ∘ SDR`, `FGA ∘ SDR`, the toys), [`FgaState`], and the baselines'
+//! [`MonoState<S>`] / bare clocks.
+
+use ssr_baselines::{MonoState, Phase};
+use ssr_core::{Composed, SdrState, Status};
+
+/// A per-process state with a canonical `u64`-word encoding.
+///
+/// Contract: for states `a`, `b` of the same type, the encodings are
+/// equal **iff** `a` and `b` are behaviorally equivalent — same
+/// enabled rules and same successors (after canonicalization) in every
+/// context. Plain `PartialEq` equality must imply encoding equality;
+/// the converse may be relaxed only by quotienting provably dead
+/// variables (see the module docs for SDR's distance).
+///
+/// # Examples
+///
+/// ```
+/// use ssr_core::{SdrState, Status};
+/// use ssr_explore::ExploreState;
+///
+/// let mut a = Vec::new();
+/// SdrState::new(Status::C, 7).encode(&mut a);
+/// let mut b = Vec::new();
+/// SdrState::new(Status::C, 0).encode(&mut b);
+/// assert_eq!(a, b, "distance is dead while the status is C");
+///
+/// let mut c = Vec::new();
+/// SdrState::new(Status::RB, 7).encode(&mut c);
+/// assert_ne!(a, c);
+/// ```
+pub trait ExploreState {
+    /// Appends this state's canonical words to `out`.
+    ///
+    /// Every state of a given type must append the **same number** of
+    /// words, so configuration keys stay aligned.
+    fn encode(&self, out: &mut Vec<u64>);
+}
+
+macro_rules! impl_explore_state_prim {
+    ($($t:ty),+) => {
+        $(impl ExploreState for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u64>) {
+                out.push(*self as u64);
+            }
+        })+
+    };
+}
+
+impl_explore_state_prim!(u8, u16, u32, u64, bool);
+
+impl ExploreState for Status {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(match self {
+            Status::C => 0,
+            Status::RB => 1,
+            Status::RF => 2,
+        });
+    }
+}
+
+impl ExploreState for SdrState {
+    /// One word: `status | dist << 2`, with `dist` canonicalized to 0
+    /// while the status is `C` (the distance is dead there — see the
+    /// module docs for why this quotient is sound).
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        let word = match self.status {
+            Status::C => 0,
+            Status::RB => 1 | (self.dist as u64) << 2,
+            Status::RF => 2 | (self.dist as u64) << 2,
+        };
+        out.push(word);
+    }
+}
+
+impl<S: ExploreState> ExploreState for Composed<S> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.sdr.encode(out);
+        self.inner.encode(out);
+    }
+}
+
+impl ExploreState for ssr_alliance::FgaState {
+    /// One word packing `col`, `scr + 1` (2 bits), `can_q`, and the
+    /// pointer (`⊥` ↦ `u32::MAX`).
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        let ptr = self.ptr.map_or(u32::MAX, |v| v.0);
+        out.push(
+            (self.col as u64)
+                | (((self.scr + 1) as u64) << 1)
+                | ((self.can_q as u64) << 3)
+                | ((ptr as u64) << 4),
+        );
+    }
+}
+
+impl ExploreState for Phase {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(match self {
+            Phase::Idle => 0,
+            Phase::Req => 1,
+            Phase::RB => 2,
+            Phase::RF => 3,
+        });
+    }
+}
+
+impl<S: ExploreState> ExploreState for MonoState<S> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.phase.encode(out);
+        self.inner.encode(out);
+    }
+}
+
+/// Encodes a whole configuration (one state per node, in node order)
+/// into a boxed key, reusing `scratch` for the intermediate buffer.
+pub(crate) fn encode_config<S: ExploreState>(config: &[S], scratch: &mut Vec<u64>) -> Box<[u64]> {
+    scratch.clear();
+    for s in config {
+        s.encode(scratch);
+    }
+    scratch.as_slice().into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_alliance::FgaState;
+    use ssr_graph::NodeId;
+
+    fn words<S: ExploreState>(s: &S) -> Vec<u64> {
+        let mut out = Vec::new();
+        s.encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn sdr_state_quotients_dead_distance() {
+        assert_eq!(
+            words(&SdrState::new(Status::C, 9)),
+            words(&SdrState::new(Status::C, 0))
+        );
+        assert_ne!(
+            words(&SdrState::new(Status::RB, 9)),
+            words(&SdrState::new(Status::RB, 0))
+        );
+        assert_ne!(
+            words(&SdrState::new(Status::RB, 1)),
+            words(&SdrState::new(Status::RF, 1))
+        );
+    }
+
+    #[test]
+    fn composed_concatenates_components() {
+        let a = Composed::new(SdrState::root(), 3u64);
+        let b = Composed::new(SdrState::root(), 4u64);
+        assert_eq!(words(&a).len(), 2);
+        assert_ne!(words(&a), words(&b));
+    }
+
+    #[test]
+    fn fga_state_fields_are_distinguished() {
+        let base = FgaState::reset();
+        let mut seen = vec![words(&base)];
+        for s in [
+            FgaState { col: false, ..base },
+            FgaState { scr: -1, ..base },
+            FgaState {
+                can_q: false,
+                ..base
+            },
+            FgaState {
+                ptr: Some(NodeId(0)),
+                ..base
+            },
+            FgaState {
+                ptr: Some(NodeId(1)),
+                ..base
+            },
+        ] {
+            let w = words(&s);
+            assert!(!seen.contains(&w), "{s:?} collides");
+            seen.push(w);
+        }
+    }
+
+    #[test]
+    fn mono_state_encodes_phase_and_inner() {
+        let a = MonoState {
+            phase: Phase::Idle,
+            inner: 2u64,
+        };
+        let b = MonoState {
+            phase: Phase::RB,
+            inner: 2u64,
+        };
+        assert_ne!(words(&a), words(&b));
+    }
+
+    #[test]
+    fn encode_config_is_order_sensitive() {
+        let mut scratch = Vec::new();
+        let k1 = encode_config(&[1u64, 2], &mut scratch);
+        let k2 = encode_config(&[2u64, 1], &mut scratch);
+        assert_ne!(k1, k2);
+        assert_eq!(k1.len(), 2);
+    }
+}

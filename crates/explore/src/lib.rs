@@ -1,0 +1,165 @@
+//! Bounded exhaustive schedule-space exploration for the SDR stack:
+//! exact worst-case bounds, mechanical closure/convergence
+//! verification, and replayable counterexample traces.
+//!
+//! Every claim of the paper is a worst-case statement over *all*
+//! unfair-daemon schedules, but a stochastic simulator only ever
+//! observes one schedule per seed. For small graphs (n ≲ 8–10) this
+//! crate walks the **full configuration graph** instead — every
+//! non-empty subset of enabled processes at every step for the
+//! distributed daemon ([`DaemonClass`]) — and turns the paper's
+//! universally-quantified claims into checkable facts:
+//!
+//! * **convergence**: every reachable configuration stabilizes (no
+//!   illegitimate deadlock, no illegitimate cycle);
+//! * **closure**: legitimate configurations only step to legitimate
+//!   configurations;
+//! * **exact worst cases**: the precise maxima of moves, steps, and
+//!   §2.4 rounds until legitimacy, as longest paths over the explored
+//!   graph — gospel the stochastic campaign layer can be validated
+//!   against (its observed maxima can never exceed them);
+//! * **witnesses**: a schedule achieving each worst case, extracted as
+//!   a [`Witness`] and replayable step-for-step through the ordinary
+//!   [`Execution`](ssr_runtime::Execution) engine (and therefore
+//!   through any [`Observer`](ssr_runtime::Observer)) via
+//!   [`Daemon::Script`](ssr_runtime::Daemon).
+//!
+//! States are deduplicated through the [`ExploreState`] canonical
+//! encoding (the `Algorithm::State` bound is deliberately not `Hash`),
+//! which also quotients away provably dead variables such as SDR's
+//! distance under status `C`. The frontier expands in parallel
+//! ([`ExploreOptions::threads`]) with a deterministic sequential
+//! merge, so results are **byte-identical for any thread count** —
+//! the same contract as the `ssr-campaign` engine.
+//!
+//! [`campaign::explore_scenario`] surfaces all of this through
+//! declarative `ssr-campaign` scenarios (that is how experiment E13
+//! compares exact worst cases against the closed-form §5/§6 bounds and
+//! against stochastic campaign maxima).
+//!
+//! # Examples
+//!
+//! Exhaustively verify SDR over the agreement toy on a tiny star, and
+//! replay the worst-case schedule:
+//!
+//! ```
+//! use ssr_core::{toys::Agreement, Sdr};
+//! use ssr_explore::{explore, ExploreOptions};
+//! use ssr_graph::generators;
+//!
+//! let g = generators::star(4);
+//! let sdr = Sdr::new(Agreement::new(2));
+//! let check = Sdr::new(Agreement::new(2));
+//! let inits: Vec<_> = (0..4).map(|s| sdr.arbitrary_config(&g, s)).collect();
+//! let ex = explore(
+//!     &g,
+//!     &sdr,
+//!     &inits,
+//!     |gr, st| check.is_normal_config(gr, st),
+//!     &ExploreOptions::default(),
+//! )
+//! .unwrap();
+//! assert!(ex.verified(), "closure + convergence, exhaustively");
+//! let worst = ex.worst.unwrap();
+//! assert!(worst.rounds <= 3 * 4, "Corollary 5, exactly");
+//!
+//! // The worst case is not an estimate: a schedule achieving it
+//! // replays through the ordinary execution engine.
+//! if let Some(w) = ex.witness_moves {
+//!     let verify = Sdr::new(Agreement::new(2));
+//!     let out = w.replay(&g, sdr, inits[w.init].clone(), move |gr, st| {
+//!         verify.is_normal_config(gr, st)
+//!     });
+//!     assert!(w.matches(&out));
+//!     assert_eq!(out.moves_at_hit, worst.moves);
+//! }
+//! ```
+
+pub mod campaign;
+mod encode;
+mod engine;
+mod witness;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ssr_graph::{Graph, NodeId};
+    use ssr_runtime::{Algorithm, RuleId, RuleMask, StateView};
+
+    /// Flood of `true` along edges — the shared unit-test algorithm:
+    /// one rule, monotone, terminates, and its worst cases are easy to
+    /// derive by hand.
+    pub struct Flood;
+
+    impl Algorithm for Flood {
+        type State = bool;
+        fn rule_count(&self) -> usize {
+            1
+        }
+        fn rule_name(&self, _: RuleId) -> &'static str {
+            "flood"
+        }
+        fn enabled_mask<V: StateView<bool>>(&self, u: NodeId, view: &V) -> RuleMask {
+            let infected = view.graph().neighbors(u).iter().any(|&v| *view.state(v));
+            RuleMask::from_bool(!*view.state(u) && infected)
+        }
+        fn apply<V: StateView<bool>>(&self, _: NodeId, _: &V, _: RuleId) -> bool {
+            true
+        }
+    }
+
+    /// The flood's legitimate set: everyone infected.
+    pub fn all_true(_: &Graph, st: &[bool]) -> bool {
+        st.iter().all(|&b| b)
+    }
+}
+
+pub use encode::ExploreState;
+pub use engine::{
+    explore, ClosureViolation, DaemonClass, Exploration, ExploreError, ExploreOptions, WorstCase,
+    MAX_ENABLED, MAX_NODES,
+};
+pub use witness::Witness;
+
+use ssr_campaign::TopologySpec;
+use ssr_graph::Graph;
+
+/// The explorer's tiny-graph suite: the topology families small enough
+/// to exhaust, sized around `n` nodes (`(label, graph)` pairs).
+///
+/// Includes the caterpillar and wheel families — structured worst-case
+/// shapes (path-like diameter with per-node contention; hub contention
+/// with rim wave-chasing) that stay tiny. Graphs are built through the
+/// campaign's [`TopologySpec`] axis (one sizing convention), so this
+/// suite is exactly what E13's grid explores.
+pub fn tiny_suite(n: usize) -> Vec<(&'static str, Graph)> {
+    let n = n.max(3);
+    let mut out = vec![
+        ("path", TopologySpec::Path.build(n, 0)),
+        ("ring", TopologySpec::Ring.build(n, 0)),
+        ("star", TopologySpec::Star.build(n, 0)),
+        ("caterpillar", TopologySpec::Caterpillar.build(n, 0)),
+    ];
+    if n >= 4 {
+        out.push(("wheel", TopologySpec::Wheel.build(n, 0)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_has_the_new_families() {
+        let suite = tiny_suite(5);
+        let labels: Vec<_> = suite.iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"caterpillar"));
+        assert!(labels.contains(&"wheel"));
+        for (label, g) in &suite {
+            assert!(
+                g.node_count() <= MAX_NODES,
+                "{label} too large for the explorer"
+            );
+        }
+    }
+}

@@ -210,6 +210,56 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
     must(b)
 }
 
+/// Caterpillar: a spine path of `spine` nodes (`0 … spine-1`), each
+/// carrying `legs` pendant leaves, `spine * (1 + legs)` nodes total.
+/// Leaf `j` of spine node `i` is node `spine + i * legs + j`.
+///
+/// Caterpillars mix the high-diameter behavior of paths with star-like
+/// local contention at every spine node — a classic small worst-case
+/// family for wave algorithms.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0, "caterpillar requires spine > 0");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b = b.edge(i as u32 - 1, i as u32);
+    }
+    for i in 0..spine {
+        for j in 0..legs {
+            b = b.edge(i as u32, (spine + i * legs + j) as u32);
+        }
+    }
+    must(b)
+}
+
+/// Wheel `W_n`: node 0 is the hub, nodes `1 … n-1` form a cycle, and
+/// every rim node is adjacent to the hub.
+///
+/// Diameter 2 with maximum degree `n − 1`: the hub sees every reset
+/// wave at once while rim waves can still chase each other around the
+/// cycle.
+///
+/// # Panics
+///
+/// Panics if `n < 4` (the rim needs at least three nodes to stay a
+/// simple cycle).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel requires n >= 4");
+    let rim = n - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..rim {
+        let u = (1 + i) as u32;
+        let v = (1 + (i + 1) % rim) as u32;
+        b = b.edge(u, v);
+        b = b.edge(0, u);
+    }
+    must(b)
+}
+
 /// Uniform random labelled tree on `n` nodes (random attachment).
 ///
 /// Each node `i >= 1` attaches to a uniformly random earlier node, which
@@ -328,6 +378,10 @@ pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
     out.push(("binary-tree", binary_tree(n)));
     out.push(("random-tree", random_tree(n, seed)));
     out.push(("random-sparse", random_connected(n, n / 2, seed)));
+    out.push(("caterpillar", caterpillar((n / 2).max(1), 1)));
+    if n >= 4 {
+        out.push(("wheel", wheel(n)));
+    }
     let side = (n as f64).sqrt().round().max(2.0) as usize;
     out.push(("grid", grid(side, side)));
     if side >= 3 {
@@ -418,6 +472,32 @@ mod tests {
         assert_eq!(g.node_count(), 7);
         assert_eq!(g.edge_count(), 6 + 3);
         assert_eq!(metrics::diameter(&g), 4);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(3, 2);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 2 + 6); // spine edges + legs
+                                           // Spine interior node: 2 spine neighbors + 2 legs.
+        assert_eq!(g.degree(crate::NodeId(1)), 4);
+        // Leaves are pendant.
+        assert_eq!(g.degree(crate::NodeId(8)), 1);
+        assert_eq!(metrics::diameter(&g), 4); // leaf-spine-spine-spine-leaf
+                                              // Degenerate: no legs is just a path.
+        assert_eq!(caterpillar(4, 0), path(4));
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10); // 5 rim + 5 spokes
+        assert_eq!(g.degree(crate::NodeId(0)), 5);
+        assert!((1..6).all(|i| g.degree(crate::NodeId(i)) == 3));
+        assert_eq!(metrics::diameter(&g), 2);
+        // Smallest wheel: K_4.
+        assert_eq!(wheel(4), complete(4));
     }
 
     #[test]

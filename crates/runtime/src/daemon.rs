@@ -61,6 +61,18 @@ pub enum Daemon {
     /// with the smallest node index — starves high-index processes
     /// whenever the low-index region stays enabled.
     LexMin,
+    /// Replays a fixed schedule: step `i` activates exactly `steps[i]`.
+    ///
+    /// This is how counterexample / witness schedules (e.g. the
+    /// worst-case traces extracted by `ssr-explore`) are driven back
+    /// through the ordinary execution engine step-for-step. Every
+    /// entry must be a non-empty subset of the processes enabled at
+    /// that step; cap the run to `steps.len()` — selecting past the
+    /// end of the script panics.
+    Script {
+        /// The per-step activation sets, shared cheaply across clones.
+        steps: std::sync::Arc<Vec<Vec<NodeId>>>,
+    },
 }
 
 impl Daemon {
@@ -148,11 +160,26 @@ impl Daemon {
             Daemon::LexMin => {
                 out.push(*enabled.iter().min().expect("non-empty"));
             }
+            Daemon::Script { steps } => {
+                let i = *cursor;
+                let step = steps.get(i).unwrap_or_else(|| {
+                    panic!(
+                        "scripted schedule exhausted at step {i} (script has {} steps; \
+                         cap the run to the script length)",
+                        steps.len()
+                    )
+                });
+                *cursor = i + 1;
+                out.extend_from_slice(step);
+            }
         }
         debug_assert!(!out.is_empty(), "daemon must activate at least one process");
     }
 
     /// The full set of strategies, for sweep-style experiments.
+    ///
+    /// [`Daemon::Script`] is deliberately absent: a script is bound to
+    /// one specific run, not a reusable strategy.
     pub fn all_strategies() -> Vec<Daemon> {
         vec![
             Daemon::Synchronous,
@@ -178,6 +205,7 @@ impl Daemon {
             Daemon::PreferHighRules => "adv-high".into(),
             Daemon::PreferLowRules => "adv-low".into(),
             Daemon::LexMin => "lex-min".into(),
+            Daemon::Script { steps } => format!("script({})", steps.len()),
         }
     }
 }
@@ -358,6 +386,38 @@ mod tests {
         let mut cursor = 0;
         Daemon::LexMin.select(&enabled, &masks, &waits, &mut cursor, &mut rng, &mut out);
         assert_eq!(out, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn script_replays_exactly() {
+        let masks = vec![RuleMask::from_bool(true); 3];
+        let (enabled, waits) = setup(&masks);
+        let schedule = vec![vec![NodeId(2)], vec![NodeId(0), NodeId(1)]];
+        let daemon = Daemon::Script {
+            steps: std::sync::Arc::new(schedule.clone()),
+        };
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for step in &schedule {
+            daemon.select(&enabled, &masks, &waits, &mut cursor, &mut rng, &mut out);
+            assert_eq!(&out, step);
+        }
+        assert_eq!(cursor, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scripted schedule exhausted")]
+    fn script_panics_past_the_end() {
+        let masks = vec![RuleMask::from_bool(true); 2];
+        let (enabled, waits) = setup(&masks);
+        let daemon = Daemon::Script {
+            steps: std::sync::Arc::new(vec![vec![NodeId(0)]]),
+        };
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut out = Vec::new();
+        let mut cursor = 1;
+        daemon.select(&enabled, &masks, &waits, &mut cursor, &mut rng, &mut out);
     }
 
     #[test]

@@ -423,31 +423,6 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         Execution::resume(self)
     }
 
-    /// Runs until `predicate` holds (checked on the initial configuration
-    /// too), the configuration becomes terminal, or `max_steps` elapse.
-    #[deprecated(
-        since = "0.1.0",
-        note = "drive runs through the execution API: \
-                `sim.execution().cap(max_steps).until(predicate).run()`"
-    )]
-    pub fn run_until(
-        &mut self,
-        max_steps: u64,
-        predicate: impl FnMut(&Graph, &[A::State]) -> bool,
-    ) -> RunOutcome {
-        self.execution().cap(max_steps).until(predicate).run()
-    }
-
-    /// Runs until the configuration is terminal or `max_steps` elapse.
-    #[deprecated(
-        since = "0.1.0",
-        note = "drive runs through the execution API: \
-                `sim.execution().cap(max_steps).run()`"
-    )]
-    pub fn run_to_termination(&mut self, max_steps: u64) -> RunOutcome {
-        self.execution().cap(max_steps).run()
-    }
-
     // ---- internals ----
 
     fn recompute_all(&mut self) {
@@ -616,14 +591,11 @@ mod tests {
         assert_eq!(sim.stats().completed_rounds, 5);
     }
 
-    /// The deprecated shims must keep their classic semantics while
-    /// delegating to the execution API.
     #[test]
-    #[allow(deprecated)]
     fn run_until_predicate_on_initial_config() {
         let (init, g) = flood_path(4);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
-        let out = sim.run_until(100, |_, states| states[0]);
+        let out = sim.execution().cap(100).until(|_, states| states[0]).run();
         assert!(out.reached);
         assert_eq!(out.steps_used, 0);
         assert_eq!(out.rounds_at_hit, 0);
@@ -634,17 +606,6 @@ mod tests {
         let (init, g) = flood_path(5);
         let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
         let out = sim.execution().cap(100).until(|_, states| states[2]).run();
-        assert!(out.reached);
-        assert_eq!(out.steps_used, 2);
-        assert_eq!(out.rounds_at_hit, 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn run_until_shim_matches_execution() {
-        let (init, g) = flood_path(5);
-        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
-        let out = sim.run_until(100, |_, states| states[2]);
         assert!(out.reached);
         assert_eq!(out.steps_used, 2);
         assert_eq!(out.rounds_at_hit, 2);

@@ -17,6 +17,7 @@
 //! | [`alliance`] | `ssr-alliance` | Algorithm FGA, `FGA ∘ SDR`, presets, verifiers |
 //! | [`baselines`] | `ssr-baselines` | CFG unison, mono-initiator reset |
 //! | [`campaign`] | `ssr-campaign` | scenario campaigns, parallel batch engine, JSONL/CSV results |
+//! | [`explore`] | `ssr-explore` | exhaustive schedule-space explorer, exact worst-case bounds, witness traces |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use ssr_alliance as alliance;
 pub use ssr_baselines as baselines;
 pub use ssr_campaign as campaign;
 pub use ssr_core as core;
+pub use ssr_explore as explore;
 pub use ssr_graph as graph;
 pub use ssr_runtime as runtime;
 pub use ssr_unison as unison;

@@ -178,6 +178,60 @@ fn bounds_scale_across_sizes() {
 }
 
 #[test]
+fn exhaustive_explorer_certifies_what_sampling_observes() {
+    // The facade exposes the explorer; exact worst cases certified by
+    // exhaustive schedule enumeration dominate everything a stochastic
+    // sweep can observe from the same initial configurations, and the
+    // witness schedule replays through the same execution engine.
+    use ssr::explore::{explore, ExploreOptions};
+    let g = generators::wheel(5);
+    let sdr = Sdr::new(Agreement::new(2));
+    let check = Sdr::new(Agreement::new(2));
+    let inits: Vec<_> = (0..6).map(|s| sdr.arbitrary_config(&g, s)).collect();
+    let ex = explore(
+        &g,
+        &sdr,
+        &inits,
+        |gr, st| check.is_normal_config(gr, st),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(ex.verified(), "closure + convergence hold exhaustively");
+    let worst = ex.worst.unwrap();
+    assert!(worst.rounds <= 3 * g.node_count() as u64, "Cor. 5, exactly");
+    for (i, init) in inits.iter().enumerate() {
+        for seed in 0..3 {
+            let c = Sdr::new(Agreement::new(2));
+            let mut sim = Simulator::new(
+                &g,
+                Sdr::new(Agreement::new(2)),
+                init.clone(),
+                Daemon::RandomSubset { p: 0.5 },
+                seed + i as u64 * 17,
+            );
+            let out = sim
+                .execution()
+                .cap(1_000_000)
+                .until(|gr, st| c.is_normal_config(gr, st))
+                .run();
+            assert!(out.reached);
+            assert!(out.moves_at_hit <= worst.moves);
+            assert!(out.rounds_at_hit <= worst.rounds);
+        }
+    }
+    let w = ex.witness_moves.unwrap();
+    let c = Sdr::new(Agreement::new(2));
+    let out = w.replay(
+        &g,
+        Sdr::new(Agreement::new(2)),
+        inits[w.init].clone(),
+        move |gr, st| c.is_normal_config(gr, st),
+    );
+    assert!(w.matches(&out));
+    assert_eq!(out.moves_at_hit, worst.moves);
+}
+
+#[test]
 fn alliance_verifiers_reject_corrupted_outputs() {
     // End-to-end negative control: flip a member off and the verifier
     // must notice on graphs where every member matters.
