@@ -434,6 +434,61 @@ impl ResetInput for Fga {
     }
 }
 
+impl ssr_runtime::exhaustive::ExploreState for FgaState {
+    /// One word packing `col`, `scr + 1` (2 bits), `can_q`, and the
+    /// pointer (`⊥` ↦ `u32::MAX`).
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        let ptr = self.ptr.map_or(u32::MAX, |v| v.0);
+        out.push(
+            (self.col as u64)
+                | (((self.scr + 1) as u64) << 1)
+                | ((self.can_q as u64) << 3)
+                | ((ptr as u64) << 4),
+        );
+    }
+}
+
+#[cfg(test)]
+mod encode_tests {
+    use super::*;
+    use ssr_runtime::exhaustive::ExploreState;
+
+    fn words(s: &FgaState) -> Vec<u64> {
+        let mut out = Vec::new();
+        s.encode(&mut out);
+        out
+    }
+
+    /// The packed word must distinguish every field — a collision
+    /// would silently merge distinct explorer states.
+    #[test]
+    fn fga_state_fields_are_distinguished() {
+        let base = FgaState::reset();
+        let mut seen = vec![words(&base)];
+        for s in [
+            FgaState { col: false, ..base },
+            FgaState { scr: -1, ..base },
+            FgaState {
+                can_q: false,
+                ..base
+            },
+            FgaState {
+                ptr: Some(NodeId(0)),
+                ..base
+            },
+            FgaState {
+                ptr: Some(NodeId(1)),
+                ..base
+            },
+        ] {
+            let w = words(&s);
+            assert!(!seen.contains(&w), "{s:?} collides");
+            seen.push(w);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

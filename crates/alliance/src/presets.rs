@@ -94,6 +94,71 @@ pub fn all_presets(graph: &Graph) -> Vec<(&'static str, Fga)> {
         .collect()
 }
 
+/// A declarative handle for one of the six §6.1 (f,g)-alliance
+/// reductions — the parameter vocabulary of the `fga-sdr`/`fga`
+/// algorithm families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PresetSpec {
+    /// Domination: `(1, 0)`.
+    Domination,
+    /// 2-domination: `(2, 0)`.
+    TwoDomination,
+    /// 2-tuple domination: `(2, 1)`.
+    TwoTuple,
+    /// Global offensive alliance.
+    Offensive,
+    /// Global defensive alliance.
+    Defensive,
+    /// Global powerful alliance.
+    Powerful,
+}
+
+impl PresetSpec {
+    /// All six presets in the §6.1 order.
+    pub fn all() -> [PresetSpec; 6] {
+        [
+            PresetSpec::Domination,
+            PresetSpec::TwoDomination,
+            PresetSpec::TwoTuple,
+            PresetSpec::Offensive,
+            PresetSpec::Defensive,
+            PresetSpec::Powerful,
+        ]
+    }
+
+    /// Label matching [`all_presets`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            PresetSpec::Domination => "domination(1,0)",
+            PresetSpec::TwoDomination => "2-domination(2,0)",
+            PresetSpec::TwoTuple => "2-tuple(2,1)",
+            PresetSpec::Offensive => "offensive",
+            PresetSpec::Defensive => "defensive",
+            PresetSpec::Powerful => "powerful",
+        }
+    }
+
+    /// Parses a [`PresetSpec::label`] back to its preset — the inverse
+    /// the string-addressable family registry resolves parameters
+    /// with.
+    pub fn from_label(label: &str) -> Option<PresetSpec> {
+        PresetSpec::all().into_iter().find(|p| p.label() == label)
+    }
+
+    /// Instantiates the preset on `graph`, `None` when the (f,g) pair
+    /// is not valid there.
+    pub fn build(&self, graph: &Graph) -> Option<Fga> {
+        match self {
+            PresetSpec::Domination => domination(graph).ok(),
+            PresetSpec::TwoDomination => k_domination(graph, 2).ok(),
+            PresetSpec::TwoTuple => k_tuple_domination(graph, 2).ok(),
+            PresetSpec::Offensive => global_offensive(graph).ok(),
+            PresetSpec::Defensive => global_defensive(graph).ok(),
+            PresetSpec::Powerful => global_powerful(graph).ok(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

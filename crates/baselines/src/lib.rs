@@ -36,7 +36,9 @@
 //! ```
 
 mod cfg_unison;
+pub mod family;
 mod mono_reset;
 
 pub use cfg_unison::{CfgUnison, RULE_CFG_INC, RULE_CFG_RESET};
+pub use family::{CfgUnisonFamily, MonoResetFamily};
 pub use mono_reset::{MonoReset, MonoState, Phase};

@@ -260,6 +260,65 @@ impl<I: ResetInput> Algorithm for MonoReset<I> {
     }
 }
 
+impl ssr_runtime::exhaustive::ExploreState for Phase {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(match self {
+            Phase::Idle => 0,
+            Phase::Req => 1,
+            Phase::RB => 2,
+            Phase::RF => 3,
+        });
+    }
+}
+
+impl<S: ssr_runtime::exhaustive::ExploreState> ssr_runtime::exhaustive::ExploreState
+    for MonoState<S>
+{
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.phase.encode(out);
+        self.inner.encode(out);
+    }
+}
+
+#[cfg(test)]
+mod encode_tests {
+    use super::*;
+    use ssr_runtime::exhaustive::ExploreState;
+
+    fn words<S: ExploreState>(s: &S) -> Vec<u64> {
+        let mut out = Vec::new();
+        s.encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn mono_state_encodes_phase_and_inner() {
+        let a = MonoState {
+            phase: Phase::Idle,
+            inner: 2u64,
+        };
+        let b = MonoState {
+            phase: Phase::RB,
+            inner: 2u64,
+        };
+        assert_ne!(words(&a), words(&b));
+        let c = MonoState {
+            phase: Phase::Idle,
+            inner: 3u64,
+        };
+        assert_ne!(words(&a), words(&c));
+        // All four phases are distinct words.
+        let mut seen: Vec<Vec<u64>> = Vec::new();
+        for phase in [Phase::Idle, Phase::Req, Phase::RB, Phase::RF] {
+            let w = words(&phase);
+            assert!(!seen.contains(&w), "{phase:?} collides");
+            seen.push(w);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,13 @@
 //! ids match any part), exactly like bare positional ids, but is
 //! explicit enough for CI pipelines.
 //!
+//! `--algorithms <label,...>` filters by algorithm family instead of
+//! group id: labels are parsed as registry handles (`unison-sdr`,
+//! `sdr-agreement(8)`, `fga-sdr:domination(1,0)`, …), validated
+//! against the standard family registry, and only experiment groups
+//! sweeping at least one of the named families run. Both filters
+//! compose (intersection).
+//!
 //! Results are byte-identical for any `--threads` value (the campaign
 //! engine's determinism contract). `--format json` additionally writes
 //! a `BENCH_`-style results file so performance trajectories can be
@@ -27,37 +34,28 @@
 //! explicit `--out PATH` is given.
 
 use ssr_bench::experiments::{self, ExpResult, Profile};
-use ssr_campaign::output::Json;
+use ssr_campaign::{families, AlgorithmSpec};
 
-fn print_result(r: &ExpResult) {
-    println!("## {} — {}\n", r.id, r.title);
-    print!("{}", r.table);
-    for note in &r.notes {
-        println!("\n> {note}");
-    }
-    println!(
-        "\n**{}**\n",
-        if r.pass {
-            "PASS — all paper bounds hold"
-        } else {
-            "FAIL — a bound was violated"
+/// Splits a `--algorithms` list on commas that are *outside*
+/// parentheses, so parameterized labels like `fga-sdr:domination(1,0)`
+/// stay whole.
+fn split_labels(v: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in v.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&v[start..i]);
+                start = i + 1;
+            }
+            _ => {}
         }
-    );
-}
-
-fn result_json(r: &ExpResult) -> Json {
-    Json::obj([
-        ("id", Json::str(r.id)),
-        ("title", Json::str(&r.title)),
-        (
-            "sizes",
-            Json::Arr(r.kpi.sizes.iter().map(|&s| Json::U64(s as u64)).collect()),
-        ),
-        ("rounds", Json::U64(r.kpi.rounds)),
-        ("moves", Json::U64(r.kpi.moves)),
-        ("bound", Json::U64(r.kpi.bound)),
-        ("verdict", Json::str(if r.pass { "pass" } else { "fail" })),
-    ])
+    }
+    out.push(&v[start..]);
+    out
 }
 
 struct Cli {
@@ -67,6 +65,7 @@ struct Cli {
     threads: usize,
     out: Option<String>,
     wanted: Vec<String>,
+    algorithms: Vec<AlgorithmSpec>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -80,6 +79,7 @@ fn parse_cli() -> Result<Cli, String> {
             .unwrap_or(1),
         out: None,
         wanted: Vec::new(),
+        algorithms: Vec::new(),
     };
     let mut table_format = false;
     let mut it = args.into_iter();
@@ -107,6 +107,37 @@ fn parse_cli() -> Result<Cli, String> {
                 }
             }
             "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?),
+            "--algorithms" => {
+                let v = it.next().ok_or("--algorithms needs <label,...>")?;
+                let registry = families::default_registry();
+                for label in split_labels(&v) {
+                    let label = label.trim();
+                    if label.is_empty() {
+                        continue;
+                    }
+                    let spec: AlgorithmSpec = label.parse().expect("spec parsing is total");
+                    // Bare registry keys (what --list prints, e.g.
+                    // `sdr-agreement`) are as valid as fully
+                    // parameterized labels; a label WITH parameters
+                    // must actually resolve, so typo'd presets or
+                    // rejected params fail here, not silently.
+                    let valid = if spec.params_str().is_none() {
+                        registry.contains(&spec.family)
+                    } else {
+                        registry.resolve(&spec).is_some()
+                    };
+                    if !valid {
+                        return Err(format!(
+                            "unknown algorithm family {label:?} (registered: {})",
+                            registry.labels().join(", ")
+                        ));
+                    }
+                    cli.algorithms.push(spec);
+                }
+                if cli.algorithms.is_empty() {
+                    return Err(format!("--algorithms got no labels in {v:?}"));
+                }
+            }
             "--only" => {
                 let v = it.next().ok_or("--only needs E<k>[,E<k>...]")?;
                 let ids: Vec<String> = v
@@ -122,7 +153,7 @@ fn parse_cli() -> Result<Cli, String> {
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unrecognized flag {flag:?} (known: --quick --list --only E<k>[,E<k>...] \
-                     --threads N --format table|json --out PATH)"
+                     --algorithms <label,...> --threads N --format table|json --out PATH)"
                 ));
             }
             id => cli.wanted.push(id.to_lowercase()),
@@ -150,7 +181,12 @@ fn main() {
 
     if cli.list {
         for entry in experiments::catalog() {
-            println!("{:<8} {}", entry.id, entry.claim);
+            println!(
+                "{:<8} [{}] {}",
+                entry.id,
+                entry.families.join(", "),
+                entry.claim
+            );
         }
         return;
     }
@@ -173,12 +209,15 @@ fn main() {
                     .split('+')
                     .any(|part| cli.wanted.iter().any(|w| w == part))
         })
+        .filter(|entry| cli.algorithms.is_empty() || entry.uses_any_family(&cli.algorithms))
         .collect();
 
     if selected.is_empty() {
         eprintln!(
-            "error: no experiment group matches {:?} (try e1 … e13, or --list)",
-            cli.wanted
+            "error: no experiment group matches ids {:?} / algorithms {:?} \
+             (try e1 … e13, --algorithms unison-sdr, or --list)",
+            cli.wanted,
+            cli.algorithms.iter().map(|a| a.label()).collect::<Vec<_>>()
         );
         std::process::exit(2);
     }
@@ -188,33 +227,15 @@ fn main() {
     for entry in &selected {
         let r: ExpResult = (entry.run)(profile, cli.threads);
         if !cli.json {
-            print_result(&r);
+            print!("{}", experiments::render_result(&r));
         }
         all_pass &= r.pass;
         results.push(r);
     }
 
     if cli.json {
-        let doc = Json::obj([
-            ("schema", Json::str("ssr-bench-results/v1")),
-            (
-                "profile",
-                Json::str(if cli.quick { "quick" } else { "full" }),
-            ),
-            (
-                "selection",
-                if cli.wanted.is_empty() {
-                    Json::str("all")
-                } else {
-                    Json::Arr(results.iter().map(|r| Json::str(r.id)).collect())
-                },
-            ),
-            ("all_pass", Json::Bool(all_pass)),
-            (
-                "groups",
-                Json::Arr(results.iter().map(result_json).collect()),
-            ),
-        ]);
+        let unfiltered = cli.wanted.is_empty() && cli.algorithms.is_empty();
+        let doc = experiments::results_json(profile, unfiltered, &results);
         let text = doc.to_string();
         println!("{text}");
         // The default BENCH_RESULTS.json is the trajectory record for
@@ -222,7 +243,9 @@ fn main() {
         // explicit --out always wins.
         let out = match &cli.out {
             Some(path) => Some(path.as_str()),
-            None if cli.wanted.is_empty() => Some("BENCH_RESULTS.json"),
+            None if cli.wanted.is_empty() && cli.algorithms.is_empty() => {
+                Some("BENCH_RESULTS.json")
+            }
             None => None,
         };
         if let Some(path) = out {
@@ -235,15 +258,7 @@ fn main() {
             eprintln!("subset selection: results not written (pass --out PATH to save them)");
         }
     } else {
-        println!(
-            "=== {} experiment group(s): {} ===",
-            selected.len(),
-            if all_pass {
-                "ALL PASS"
-            } else {
-                "FAILURES PRESENT"
-            }
-        );
+        print!("{}", experiments::render_footer(&results));
     }
     if !all_pass {
         std::process::exit(1);

@@ -15,7 +15,7 @@ use ssr_alliance::verify::AllianceObserver;
 use ssr_alliance::{fga_sdr, verify};
 use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
 use ssr_campaign::{
-    engine, run_scenario, warm_up_and_corrupt_clocks, AlgorithmSpec, Amount, Campaign, InitPlan,
+    engine, families, run_scenario, warm_up_and_corrupt_clocks, Amount, Campaign, InitPlan,
     PresetSpec, ScenarioRecord, TopologySpec, Verdict,
 };
 use ssr_core::{alive_roots, toys::Agreement, Sdr, SegmentObserver, Standalone};
@@ -146,7 +146,7 @@ pub fn e1_e2_sdr_bounds(p: Profile, threads: usize) -> ExpResult {
     let campaign = Campaign::new("e1e2-sdr-bounds")
         .topologies(exp_topologies())
         .sizes(p.sizes())
-        .algorithms(vec![AlgorithmSpec::SdrAgreement { domain: 8 }])
+        .algorithms(vec![families::sdr_agreement(8)])
         .daemons(daemon_suite())
         .inits(vec![InitPlan::Arbitrary])
         .trials(p.trials())
@@ -220,7 +220,7 @@ pub fn e3_segments(p: Profile, threads: usize) -> ExpResult {
     let campaign = Campaign::new("e3-segments")
         .topologies(exp_topologies())
         .sizes(p.sizes())
-        .algorithms(vec![AlgorithmSpec::SdrAgreement { domain: 6 }])
+        .algorithms(vec![families::sdr_agreement(6)])
         .daemons(vec![Daemon::RandomSubset { p: 0.5 }])
         .inits(vec![InitPlan::Arbitrary])
         .trials(1)
@@ -299,7 +299,7 @@ pub fn e4_e5_unison(p: Profile, threads: usize) -> ExpResult {
     let campaign = Campaign::new("e4e5-unison")
         .topologies(exp_topologies())
         .sizes(p.sizes())
-        .algorithms(vec![AlgorithmSpec::UnisonSdr, AlgorithmSpec::CfgUnison])
+        .algorithms(vec![families::unison_sdr(), families::cfg_unison()])
         .daemons(vec![Daemon::RandomSubset { p: 0.5 }])
         .inits(vec![InitPlan::Arbitrary])
         .trials(p.trials())
@@ -324,8 +324,8 @@ pub fn e4_e5_unison(p: Profile, threads: usize) -> ExpResult {
         sizes: p.sizes(),
         ..ExpKpi::default()
     };
-    let sdr_label = AlgorithmSpec::UnisonSdr.label();
-    let cfg_label = AlgorithmSpec::CfgUnison.label();
+    let sdr_label = families::unison_sdr().label();
+    let cfg_label = families::cfg_unison().label();
     for &n in &p.sizes() {
         for topo in exp_topologies() {
             let label = topo.label();
@@ -411,7 +411,7 @@ pub fn e6_unison_spec(p: Profile, threads: usize) -> ExpResult {
     let campaign = Campaign::new("e6-unison-spec")
         .topologies(exp_topologies())
         .sizes(p.small_sizes())
-        .algorithms(vec![AlgorithmSpec::UnisonSdr])
+        .algorithms(vec![families::unison_sdr()])
         .daemons(vec![Daemon::RoundRobin])
         .inits(vec![InitPlan::Arbitrary])
         .trials(1)
@@ -503,7 +503,7 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
         .algorithms(
             PresetSpec::all()
                 .into_iter()
-                .map(|preset| AlgorithmSpec::FgaStandalone { preset })
+                .map(families::fga_standalone)
                 .collect(),
         )
         .daemons(vec![Daemon::RandomSubset { p: 0.5 }])
@@ -512,9 +512,11 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
         .step_cap(p.step_cap())
         .seed(0xE7_00);
     let rows = engine::run_with(&campaign, threads, |sc| {
-        let AlgorithmSpec::FgaStandalone { preset } = sc.algorithm else {
-            unreachable!("axis holds standalone specs only")
-        };
+        let preset = sc
+            .algorithm
+            .params_str()
+            .and_then(PresetSpec::from_label)
+            .expect("axis holds standalone specs only");
         let [graph_seed, _, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let fga = preset.build(&g)?;
@@ -609,9 +611,7 @@ pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
     let campaign = Campaign::new("e8-fga-sdr")
         .topologies(exp_topologies())
         .sizes(p.small_sizes())
-        .algorithms(vec![AlgorithmSpec::FgaSdr {
-            preset: PresetSpec::Domination,
-        }])
+        .algorithms(vec![families::fga_sdr(PresetSpec::Domination)])
         .daemons(vec![Daemon::Central])
         .inits(vec![InitPlan::Arbitrary])
         .trials(p.trials())
@@ -733,7 +733,7 @@ pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
         .algorithms(
             PresetSpec::all()
                 .into_iter()
-                .map(|preset| AlgorithmSpec::FgaSdr { preset })
+                .map(families::fga_sdr)
                 .collect(),
         )
         .daemons(vec![Daemon::Central])
@@ -753,9 +753,11 @@ pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
         moves: u64,
     }
     let rows = engine::run_with(&campaign, threads, |sc| {
-        let AlgorithmSpec::FgaSdr { preset } = sc.algorithm else {
-            unreachable!("axis holds FGA∘SDR specs only")
-        };
+        let preset = sc
+            .algorithm
+            .params_str()
+            .and_then(PresetSpec::from_label)
+            .expect("axis holds FGA∘SDR specs only");
         let [graph_seed, init_seed, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let fga = preset.build(&g)?;
@@ -841,14 +843,14 @@ pub fn e10_ablation(p: Profile, threads: usize) -> ExpResult {
     let campaign = Campaign::new("e10-ablation")
         .topologies(vec![TopologySpec::Ring, TopologySpec::Path])
         .sizes(p.sizes())
-        .algorithms(vec![AlgorithmSpec::UnisonSdr, AlgorithmSpec::CfgUnison])
+        .algorithms(vec![families::unison_sdr(), families::cfg_unison()])
         .daemons(vec![Daemon::Central])
         .inits(inits.clone())
         .trials(1)
         .step_cap(p.step_cap())
         .seed(0xE10);
     let records = engine::run_with(&campaign, threads, |mut sc| {
-        if sc.algorithm == AlgorithmSpec::CfgUnison {
+        if sc.algorithm == families::cfg_unison() {
             sc.step_cap = baseline_cap;
         }
         run_scenario(sc)
@@ -868,7 +870,7 @@ pub fn e10_ablation(p: Profile, threads: usize) -> ExpResult {
         sizes: p.sizes(),
         ..ExpKpi::default()
     };
-    let sdr_label = AlgorithmSpec::UnisonSdr.label();
+    let sdr_label = families::unison_sdr().label();
     for &n in &p.sizes() {
         for topo in [TopologySpec::Ring, TopologySpec::Path] {
             let label = topo.label();
@@ -963,9 +965,9 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
         .topologies(vec![TopologySpec::Ring])
         .sizes(vec![n])
         .algorithms(vec![
-            AlgorithmSpec::UnisonSdr,
-            AlgorithmSpec::CfgUnison,
-            AlgorithmSpec::MonoReset,
+            families::unison_sdr(),
+            families::cfg_unison(),
+            families::mono_reset(),
         ])
         .daemons(vec![Daemon::RandomSubset { p: 0.5 }])
         .inits(ks.iter().map(|&k| InitPlan::CorruptClocks { k }).collect())
@@ -984,8 +986,8 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
         // seeded by k alone, so each family corrupts the same clocks.
         let fault_seed = k + 7;
         let period = Unison::for_graph(&g).period();
-        let (reached, rounds, moves) = match sc.algorithm {
-            AlgorithmSpec::UnisonSdr => {
+        let (reached, rounds, moves) = match sc.algorithm.family.as_str() {
+            "unison-sdr" => {
                 let algo = unison_sdr(Unison::for_graph(&g));
                 let check = unison_sdr(Unison::for_graph(&g));
                 let init = algo.initial_config(&g);
@@ -999,7 +1001,7 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                     .run();
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
-            AlgorithmSpec::CfgUnison => {
+            "cfg-unison" => {
                 let cfg = CfgUnison::for_graph(&g);
                 let k_cfg = cfg.period();
                 let init = cfg.initial_config(&g);
@@ -1016,7 +1018,7 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                     .run();
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
-            AlgorithmSpec::MonoReset => {
+            "mono-reset" => {
                 let mono = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
                 let check = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
                 let init = mono.initial_config(&g);
@@ -1062,14 +1064,14 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
     };
     for amount in ks {
         let k = amount.resolve(n as u64);
-        let find = |family: &AlgorithmSpec| {
+        let find = |family: &ssr_campaign::AlgorithmSpec| {
             rows.iter()
                 .find(|r| r.k == k && r.family == family.label())
                 .expect("one row per (k, family)")
         };
-        let sdr = find(&AlgorithmSpec::UnisonSdr);
-        let cfg = find(&AlgorithmSpec::CfgUnison);
-        let mono = find(&AlgorithmSpec::MonoReset);
+        let sdr = find(&families::unison_sdr());
+        let cfg = find(&families::cfg_unison());
+        let mono = find(&families::mono_reset());
         pass &= sdr.reached && cfg.reached && mono.reached;
         kpi.rounds = kpi.rounds.max(sdr.rounds);
         kpi.moves = kpi.moves.max(sdr.moves);
@@ -1118,11 +1120,9 @@ pub fn e13_exhaustive(p: Profile, threads: usize) -> ExpResult {
         .topologies(topologies.clone())
         .sizes(sizes.clone())
         .algorithms(vec![
-            AlgorithmSpec::SdrAgreement { domain: 2 },
-            AlgorithmSpec::UnisonSdr,
-            AlgorithmSpec::FgaSdr {
-                preset: PresetSpec::Domination,
-            },
+            families::sdr_agreement(2),
+            families::unison_sdr(),
+            families::fga_sdr(PresetSpec::Domination),
         ])
         .daemons(vec![Daemon::Central]) // the explorer covers all classes itself
         .inits(vec![InitPlan::Arbitrary])
@@ -1199,14 +1199,27 @@ pub fn e13_exhaustive(p: Profile, threads: usize) -> ExpResult {
     )
 }
 
-/// A catalog entry: group id, one-line claim, and the runner.
+/// A catalog entry: group id, one-line claim, the algorithm-family
+/// registry keys the group sweeps, and the runner.
 pub struct ExpEntry {
     /// Group id (e.g. `"E1+E2"`).
     pub id: &'static str,
     /// One-line description of the claim under test.
     pub claim: &'static str,
+    /// Registry keys of the families this group selects through the
+    /// standard registry (what `--algorithms` filters on).
+    pub families: &'static [&'static str],
     /// Computes the group on `threads` workers.
     pub run: fn(Profile, usize) -> ExpResult,
+}
+
+impl ExpEntry {
+    /// Whether this group sweeps at least one of `specs`' families.
+    pub fn uses_any_family(&self, specs: &[ssr_campaign::AlgorithmSpec]) -> bool {
+        specs
+            .iter()
+            .any(|spec| self.families.contains(&spec.family.as_str()))
+    }
 }
 
 /// The experiment groups in presentation order, without computing
@@ -1215,51 +1228,61 @@ pub fn catalog() -> Vec<ExpEntry> {
     vec![
         ExpEntry {
             id: "E1+E2",
+            families: &["sdr-agreement"],
             claim: "SDR recovery ≤ 3n rounds (Cor. 5) and ≤ 3n+3 SDR moves per process (Cor. 4)",
             run: e1_e2_sdr_bounds,
         },
         ExpEntry {
             id: "E3",
+            families: &["sdr-agreement"],
             claim: "Alive-root monotonicity, ≤ n+1 segments, segment rule grammar (Thm 3, Rem 5, Cor 3)",
             run: e3_segments,
         },
         ExpEntry {
             id: "E4+E5",
+            families: &["unison-sdr", "cfg-unison"],
             claim: "U ∘ SDR ≤ 3n rounds (Thm 7) and ≤ (3D+3)n²+(3D+1)(n−1)+1 moves (Thm 6), vs CFG",
             run: e4_e5_unison,
         },
         ExpEntry {
             id: "E6",
+            families: &["unison-sdr"],
             claim: "Unison spec after stabilization: zero safety violations, all clocks advance",
             run: e6_unison_spec,
         },
         ExpEntry {
             id: "E7",
+            families: &["fga"],
             claim: "Standalone FGA from γ_init: ≤ 5n+4 rounds (Cor. 12), ≤ 16Δm+36m+24n moves (Cor. 11)",
             run: e7_fga_standalone,
         },
         ExpEntry {
             id: "E8+E12",
+            families: &["fga-sdr"],
             claim: "FGA ∘ SDR silent: ≤ 8n+4 rounds (Thm 14), ≤ (n+1)(16mΔ+36m+27n) moves (Thm 12)",
             run: e8_fga_sdr,
         },
         ExpEntry {
             id: "E9",
+            families: &["fga-sdr"],
             claim: "The six §6.1 (f,g)-alliance reductions verified against the classical definitions",
             run: e9_presets,
         },
         ExpEntry {
             id: "E10",
+            families: &["unison-sdr", "cfg-unison"],
             claim: "Ablation: cooperative vs uncoordinated local resets on clock-tear workloads",
             run: e10_ablation,
         },
         ExpEntry {
             id: "E11",
+            families: &["unison-sdr", "cfg-unison", "mono-reset"],
             claim: "Recovery from k corrupted clocks on a ring: SDR vs CFG vs mono-initiator",
             run: e11_faults,
         },
         ExpEntry {
             id: "E13",
+            families: &["sdr-agreement", "unison-sdr", "fga-sdr"],
             claim: "Exhaustive schedule space (tiny graphs): exact worst cases ≤ closed-form bounds",
             run: e13_exhaustive,
         },
@@ -1269,6 +1292,96 @@ pub fn catalog() -> Vec<ExpEntry> {
 /// Runs every experiment group in catalog order.
 pub fn all(p: Profile, threads: usize) -> Vec<ExpResult> {
     catalog().into_iter().map(|e| (e.run)(p, threads)).collect()
+}
+
+/// One experiment's report exactly as the `experiments` binary prints
+/// it (markdown heading, table, notes, verdict line).
+pub fn render_result(r: &ExpResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "## {} — {}\n", r.id, r.title).unwrap();
+    write!(out, "{}", r.table).unwrap();
+    for note in &r.notes {
+        writeln!(out, "\n> {note}").unwrap();
+    }
+    writeln!(
+        out,
+        "\n**{}**\n",
+        if r.pass {
+            "PASS — all paper bounds hold"
+        } else {
+            "FAIL — a bound was violated"
+        }
+    )
+    .unwrap();
+    out
+}
+
+/// The summary footer the `experiments` binary prints after a table
+/// run.
+pub fn render_footer(results: &[ExpResult]) -> String {
+    format!(
+        "=== {} experiment group(s): {} ===\n",
+        results.len(),
+        if results.iter().all(|r| r.pass) {
+            "ALL PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
+    )
+}
+
+/// One experiment's headline JSON object (the `groups[]` entry of the
+/// results file).
+pub fn result_json(r: &ExpResult) -> ssr_campaign::output::Json {
+    use ssr_campaign::output::Json;
+    Json::obj([
+        ("id", Json::str(r.id)),
+        ("title", Json::str(&r.title)),
+        (
+            "sizes",
+            Json::Arr(r.kpi.sizes.iter().map(|&s| Json::U64(s as u64)).collect()),
+        ),
+        ("rounds", Json::U64(r.kpi.rounds)),
+        ("moves", Json::U64(r.kpi.moves)),
+        ("bound", Json::U64(r.kpi.bound)),
+        ("verdict", Json::str(if r.pass { "pass" } else { "fail" })),
+    ])
+}
+
+/// The whole `BENCH_RESULTS.json` document for a set of results —
+/// shared by the experiments binary and the byte-compatibility pin in
+/// `tests/golden_compat.rs`. `selection_all` marks an unfiltered run.
+pub fn results_json(
+    profile: Profile,
+    selection_all: bool,
+    results: &[ExpResult],
+) -> ssr_campaign::output::Json {
+    use ssr_campaign::output::Json;
+    let all_pass = results.iter().all(|r| r.pass);
+    Json::obj([
+        ("schema", Json::str("ssr-bench-results/v1")),
+        (
+            "profile",
+            Json::str(match profile {
+                Profile::Quick => "quick",
+                Profile::Full => "full",
+            }),
+        ),
+        (
+            "selection",
+            if selection_all {
+                Json::str("all")
+            } else {
+                Json::Arr(results.iter().map(|r| Json::str(r.id)).collect())
+            },
+        ),
+        ("all_pass", Json::Bool(all_pass)),
+        (
+            "groups",
+            Json::Arr(results.iter().map(result_json).collect()),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use ssr_runtime::family::FamilyRegistry;
+
 use crate::grid::Campaign;
 use crate::runner::{self, ScenarioRecord};
 use crate::scenario::Scenario;
@@ -73,7 +75,20 @@ where
 /// ([`runner::run_scenario`]) and stamps the campaign id into each
 /// record.
 pub fn run(campaign: &Campaign, threads: usize) -> Vec<ScenarioRecord> {
-    let mut records = run_with(campaign, threads, runner::run_scenario);
+    run_in(crate::families::default_registry(), campaign, threads)
+}
+
+/// Like [`run`], but resolves algorithm families against a
+/// caller-supplied registry — the entry point for campaigns over
+/// user-registered families (see `examples/custom_family.rs`).
+pub fn run_in(
+    registry: &FamilyRegistry,
+    campaign: &Campaign,
+    threads: usize,
+) -> Vec<ScenarioRecord> {
+    let mut records = run_with(campaign, threads, |sc| {
+        runner::run_scenario_in(registry, sc)
+    });
     for rec in &mut records {
         rec.campaign = campaign.id().to_string();
     }
@@ -83,14 +98,14 @@ pub fn run(campaign: &Campaign, threads: usize) -> Vec<ScenarioRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{AlgorithmSpec, TopologySpec};
+    use crate::scenario::TopologySpec;
     use ssr_runtime::Daemon;
 
     fn tiny() -> Campaign {
         Campaign::new("engine-test")
             .topologies(vec![TopologySpec::Ring, TopologySpec::Star])
             .sizes(vec![6, 8])
-            .algorithms(vec![AlgorithmSpec::SdrAgreement { domain: 4 }])
+            .algorithms(vec![crate::families::sdr_agreement(4)])
             .daemons(vec![Daemon::Central, Daemon::Synchronous])
             .trials(2)
             .step_cap(500_000)
@@ -120,6 +135,13 @@ mod tests {
     fn zero_threads_is_clamped_to_one() {
         let c = tiny();
         assert_eq!(run(&c, 0), run(&c, 1));
+    }
+
+    #[test]
+    fn run_in_matches_run_on_the_standard_registry() {
+        let c = tiny();
+        let registry = crate::families::standard_families();
+        assert_eq!(run_in(&registry, &c, 2), run(&c, 2));
     }
 
     #[test]

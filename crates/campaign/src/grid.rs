@@ -21,12 +21,12 @@ use crate::scenario::{AlgorithmSpec, InitPlan, Scenario, TopologySpec};
 /// # Examples
 ///
 /// ```
-/// use ssr_campaign::{AlgorithmSpec, Campaign, TopologySpec};
+/// use ssr_campaign::{families, Campaign, TopologySpec};
 ///
 /// let c = Campaign::new("demo")
 ///     .topologies(vec![TopologySpec::Ring, TopologySpec::Star])
 ///     .sizes(vec![8, 16])
-///     .algorithms(vec![AlgorithmSpec::UnisonSdr])
+///     .algorithms(vec![families::unison_sdr()])
 ///     .trials(3);
 /// assert_eq!(c.len(), 2 * 2 * 3);
 /// let sc = c.scenario(0);
@@ -53,7 +53,7 @@ impl Campaign {
             id: id.into(),
             topologies: vec![TopologySpec::Ring],
             sizes: vec![8],
-            algorithms: vec![AlgorithmSpec::UnisonSdr],
+            algorithms: vec![crate::families::unison_sdr()],
             daemons: vec![Daemon::RandomSubset { p: 0.5 }],
             inits: vec![InitPlan::Arbitrary],
             trials: 1,
@@ -153,7 +153,7 @@ impl Campaign {
         rest /= self.inits.len();
         let daemon = self.daemons[rest % self.daemons.len()].clone();
         rest /= self.daemons.len();
-        let algorithm = self.algorithms[rest % self.algorithms.len()];
+        let algorithm = self.algorithms[rest % self.algorithms.len()].clone();
         rest /= self.algorithms.len();
         let n = self.sizes[rest % self.sizes.len()];
         rest /= self.sizes.len();
@@ -195,7 +195,10 @@ mod tests {
                 TopologySpec::Star,
             ])
             .sizes(vec![8, 12])
-            .algorithms(vec![AlgorithmSpec::UnisonSdr, AlgorithmSpec::CfgUnison])
+            .algorithms(vec![
+                crate::families::unison_sdr(),
+                crate::families::cfg_unison(),
+            ])
             .daemons(vec![Daemon::Central, Daemon::Synchronous])
             .inits(vec![
                 InitPlan::Arbitrary,

@@ -22,13 +22,13 @@
 //! # Examples
 //!
 //! ```
-//! use ssr_campaign::{engine, output, AlgorithmSpec, Campaign, TopologySpec};
+//! use ssr_campaign::{engine, families, output, Campaign, TopologySpec};
 //! use ssr_runtime::Daemon;
 //!
 //! let campaign = Campaign::new("doc-demo")
 //!     .topologies(vec![TopologySpec::Ring, TopologySpec::Star])
 //!     .sizes(vec![6])
-//!     .algorithms(vec![AlgorithmSpec::UnisonSdr])
+//!     .algorithms(vec![families::unison_sdr()])
 //!     .daemons(vec![Daemon::Central])
 //!     .trials(2)
 //!     .step_cap(1_000_000);
@@ -41,6 +41,7 @@
 //! ```
 
 pub mod engine;
+pub mod families;
 mod grid;
 pub mod output;
 mod runner;
@@ -49,8 +50,10 @@ pub mod stats;
 pub mod workloads;
 
 pub use grid::Campaign;
-pub use runner::{run_scenario, warm_up_and_corrupt_clocks, ScenarioRecord, Verdict};
-pub use scenario::{AlgorithmSpec, Amount, InitPlan, PresetSpec, Scenario, TopologySpec};
+pub use runner::{
+    run_scenario, run_scenario_in, warm_up_and_corrupt_clocks, ScenarioRecord, Verdict,
+};
+pub use scenario::{AlgorithmSpec, Amount, InitPlan, Params, PresetSpec, Scenario, TopologySpec};
 
 #[cfg(test)]
 pub(crate) mod test_support {

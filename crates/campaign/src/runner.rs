@@ -1,72 +1,37 @@
-//! The default scenario runner: expands a [`Scenario`] into one
-//! simulation run and returns a flat, serializable [`ScenarioRecord`]
-//! with the paper's closed-form bound checked where one exists.
+//! The default scenario runner: a registry lookup plus one generic
+//! body.
 //!
-//! Init-plan semantics per family:
-//!
-//! * `Arbitrary` — the family's arbitrary-configuration sampler;
-//!   [`AlgorithmSpec::FgaStandalone`] has none (the standalone theorems
-//!   quantify over `γ_init` only) and uses `γ_init` instead.
-//! * `Normal` — `γ_init` (all-zero clocks for the unison families).
-//! * `Tear` — unison families only (a clock gradient with a
-//!   discontinuity); other families fall back to `Arbitrary`.
-//! * `CorruptClocks` — unison families only: start legitimate, warm up,
-//!   corrupt `k` random clocks, reset counters, measure recovery;
-//!   other families fall back to `Arbitrary`.
+//! [`run_scenario`] expands a [`Scenario`] into one simulation run by
+//! resolving its [`AlgorithmSpec`](crate::AlgorithmSpec) against the
+//! standard [`FamilyRegistry`](ssr_runtime::family::FamilyRegistry)
+//! and delegating to the family's
+//! [`run`](ssr_runtime::family::Family::run) — every per-family
+//! decision (init-plan semantics, target predicate, paper bounds,
+//! verdict) lives with the family in its home crate, not here.
+//! [`run_scenario_in`] is the same body against a caller-supplied
+//! registry, which is how user-registered families run campaigns
+//! without touching any workspace crate.
 //!
 //! Custom probes (segment tracking, liveness windows, alliance
 //! verification columns) belong to *callers*: run a campaign through
 //! [`crate::engine::run_with`] with your own runner, reusing
-//! [`Scenario::seeds`] and [`TopologySpec::build`] so the determinism
-//! contract carries over — and attach `ssr_runtime::Observer`s to the
-//! `Execution` instead of hand-rolling a stepping loop.
+//! [`Scenario::seeds`] and [`TopologySpec::build`](crate::TopologySpec)
+//! so the determinism contract carries over — and attach
+//! `ssr_runtime::Observer`s to the `Execution` instead of hand-rolling
+//! a stepping loop. For family-agnostic probes there is also the
+//! type-erased [`FamilyProbe`](ssr_runtime::family::FamilyProbe) hook
+//! on `Family::run` itself.
 
-use std::fmt;
+use ssr_graph::{metrics, Graph};
+use ssr_runtime::family::{FamilyRegistry, FamilyRunOutcome, RunSeeds};
+use ssr_runtime::TerminationReason;
 
-use ssr_alliance::verify::AllianceObserver;
-use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
-use ssr_core::{toys::Agreement, Sdr, Standalone, RULE_C, RULE_R, RULE_RB, RULE_RF};
-use ssr_graph::{metrics, Graph, NodeId};
-use ssr_runtime::rng::Xoshiro256StarStar;
-use ssr_runtime::{Algorithm, Simulator, TerminationReason};
-use ssr_unison::{spec, unison_sdr, Unison};
+use crate::families;
+use crate::scenario::Scenario;
 
-use crate::scenario::{AlgorithmSpec, InitPlan, Scenario};
-use crate::workloads::{unison_tear, unison_tear_plain};
-
-/// Outcome of checking a run against its closed-form bound.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Verdict {
-    /// The run reached its target within every applicable bound.
-    Pass,
-    /// The run missed its target or violated a bound.
-    Fail,
-    /// The run reached its target; no closed-form bound applies
-    /// (baseline families).
-    NoBound,
-    /// The scenario is not instantiable (e.g. an (f,g) preset invalid
-    /// on this graph) and was skipped.
-    Skip,
-}
-
-impl Verdict {
-    /// Whether the record counts against a campaign's overall pass.
-    pub fn ok(&self) -> bool {
-        !matches!(self, Verdict::Fail)
-    }
-}
-
-impl fmt::Display for Verdict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Verdict::Pass => "pass",
-            Verdict::Fail => "fail",
-            Verdict::NoBound => "no-bound",
-            Verdict::Skip => "skip",
-        };
-        write!(f, "{s}")
-    }
-}
+// Historical home of these types; the runner still re-exports them.
+pub use ssr_runtime::family::Verdict;
+pub use ssr_unison::workloads::warm_up_and_corrupt_clocks;
 
 /// Flat result of one scenario run (serializable via
 /// [`crate::output`]).
@@ -152,246 +117,64 @@ impl ScenarioRecord {
             verdict: Verdict::Skip,
         }
     }
-}
 
-/// Runs one scenario to completion and checks the applicable paper
-/// bound. Pure: the record depends only on the scenario (never on
-/// which thread runs it or when).
-pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
-    let [graph_seed, init_seed, sim_seed, fault_seed] = sc.seeds::<4>();
-    let g = sc.topology.build(sc.n, graph_seed);
-    let mut rec = ScenarioRecord::skeleton(&sc, &g);
-    let nn = rec.nodes;
-    match sc.algorithm {
-        AlgorithmSpec::SdrAgreement { domain } => {
-            let sdr = Sdr::new(Agreement::new(domain));
-            let rc = sdr.rule_count();
-            let init = match sc.init {
-                InitPlan::Normal => sdr.initial_config(&g),
-                _ => sdr.arbitrary_config(&g, init_seed),
-            };
-            let check = Sdr::new(Agreement::new(domain));
-            let mut sim = Simulator::new(&g, sdr, init, sc.daemon.clone(), sim_seed);
-            let out = sim
-                .execution()
-                .cap(sc.step_cap)
-                .until(|gr, st| check.is_normal_config(gr, st))
-                .run();
-            let pp = max_sdr_moves_per_process(&g, sim.stats(), rc);
-            rec.fill(&out, sim.stats().steps);
-            rec.max_moves_per_process = pp;
-            // Cor. 5 (rounds) and Cor. 4 (per-process SDR moves).
-            rec.bound_rounds = Some(3 * nn);
-            rec.verdict = if out.reached && out.rounds_at_hit <= 3 * nn && pp <= 3 * nn + 3 {
-                Verdict::Pass
-            } else {
-                Verdict::Fail
-            };
-        }
-        AlgorithmSpec::UnisonSdr => {
-            let algo = unison_sdr(Unison::for_graph(&g));
-            let period = algo.input().period();
-            let rc = algo.rule_count();
-            let check = unison_sdr(Unison::for_graph(&g));
-            let init = match sc.init {
-                InitPlan::Normal | InitPlan::CorruptClocks { .. } => algo.initial_config(&g),
-                InitPlan::Tear { gap } => unison_tear(&g, period, gap.resolve(nn)),
-                InitPlan::Arbitrary => algo.arbitrary_config(&g, init_seed),
-            };
-            let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-            if let InitPlan::CorruptClocks { k } = sc.init {
-                let mut rng = Xoshiro256StarStar::seed_from_u64(fault_seed);
-                warm_up_and_corrupt_clocks(&mut sim, k.resolve(nn), period, &mut rng);
-            }
-            let out = sim
-                .execution()
-                .cap(sc.step_cap)
-                .until(|gr, st| check.is_normal_config(gr, st))
-                .run();
-            let pp = max_sdr_moves_per_process(&g, sim.stats(), rc);
-            rec.fill(&out, sim.stats().steps);
-            rec.max_moves_per_process = pp;
-            // Thm 7 (rounds) and Thm 6 (moves).
-            let rb = spec::theorem7_round_bound(nn);
-            let mb = spec::theorem6_move_bound(nn, rec.diameter);
-            rec.bound_rounds = Some(rb);
-            rec.bound_moves = Some(mb);
-            rec.verdict = if out.reached && out.rounds_at_hit <= rb && out.moves_at_hit <= mb {
-                Verdict::Pass
-            } else {
-                Verdict::Fail
-            };
-        }
-        AlgorithmSpec::CfgUnison => {
-            let cfg = CfgUnison::for_graph(&g);
-            let period = cfg.period();
-            let init = match sc.init {
-                InitPlan::Normal | InitPlan::CorruptClocks { .. } => cfg.initial_config(&g),
-                InitPlan::Tear { gap } => unison_tear_plain(&g, period, gap.resolve(nn)),
-                InitPlan::Arbitrary => cfg.arbitrary_config(&g, init_seed),
-            };
-            let mut sim = Simulator::new(&g, cfg, init, sc.daemon.clone(), sim_seed);
-            if let InitPlan::CorruptClocks { k } = sc.init {
-                let mut rng = Xoshiro256StarStar::seed_from_u64(fault_seed);
-                ssr_runtime::faults::corrupt_random(
-                    &mut sim,
-                    k.resolve(nn).min(nn) as usize,
-                    &mut rng,
-                    |_, r| r.below(period),
-                );
-                sim.reset_stats();
-            }
-            let out = sim
-                .execution()
-                .cap(sc.step_cap)
-                .until(|gr, st| spec::safety_holds(gr, st, period))
-                .run();
-            rec.fill(&out, sim.stats().steps);
-            rec.max_moves_per_process = sim.stats().max_moves_per_process();
-            // No closed-form bound: blowing the cap is a finding, not
-            // a campaign failure.
-            rec.verdict = Verdict::NoBound;
-        }
-        AlgorithmSpec::MonoReset => {
-            let mono = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
-            let period = mono.input().period();
-            let check = MonoReset::new(&g, Unison::for_graph(&g), NodeId(0));
-            let init = mono.initial_config(&g);
-            let mut sim = Simulator::new(&g, mono, init, sc.daemon.clone(), sim_seed);
-            if let InitPlan::CorruptClocks { k } = sc.init {
-                let mut rng = Xoshiro256StarStar::seed_from_u64(fault_seed);
-                ssr_runtime::faults::corrupt_random(
-                    &mut sim,
-                    k.resolve(nn).min(nn) as usize,
-                    &mut rng,
-                    |_, r| MonoState {
-                        phase: Phase::Idle,
-                        inner: r.below(period),
-                    },
-                );
-                sim.reset_stats();
-            }
-            let out = sim
-                .execution()
-                .cap(sc.step_cap)
-                .until(|gr, st| check.is_normal_config(gr, st))
-                .run();
-            rec.fill(&out, sim.stats().steps);
-            rec.max_moves_per_process = sim.stats().max_moves_per_process();
-            rec.verdict = Verdict::NoBound;
-        }
-        AlgorithmSpec::FgaSdr { preset } => {
-            let Some(fga) = preset.build(&g) else {
-                return rec; // Verdict::Skip
-            };
-            let mut probe = AllianceObserver::new(&fga);
-            let algo = ssr_alliance::fga_sdr(fga);
-            let init = match sc.init {
-                InitPlan::Normal => algo.initial_config(&g),
-                _ => algo.arbitrary_config(&g, init_seed),
-            };
-            let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-            let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
-            rec.fill(&out, sim.stats().steps);
-            rec.max_moves_per_process = sim.stats().max_moves_per_process();
-            let v = probe.into_verdict().expect("sampled at run end");
-            let sound = v.alliance && v.corner_ok;
-            // Thm 14 (rounds) and Thm 12 (moves).
-            let rb = ssr_alliance::verify::theorem14_round_bound(nn);
-            let mb = ssr_alliance::verify::theorem12_move_bound(nn, rec.edges, rec.max_degree);
-            rec.bound_rounds = Some(rb);
-            rec.bound_moves = Some(mb);
-            rec.verdict = if out.terminal && sound && rec.rounds <= rb && rec.moves <= mb {
-                Verdict::Pass
-            } else {
-                Verdict::Fail
-            };
-        }
-        AlgorithmSpec::FgaStandalone { preset } => {
-            let Some(fga) = preset.build(&g) else {
-                return rec; // Verdict::Skip
-            };
-            let mut probe = AllianceObserver::new(&fga);
-            let algo = Standalone::new(fga);
-            // The standalone theorems quantify over γ_init only.
-            let init = algo.initial_config(&g);
-            let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
-            let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
-            rec.fill(&out, sim.stats().steps);
-            rec.max_moves_per_process = sim.stats().max_moves_per_process();
-            let v = probe.into_verdict().expect("sampled at run end");
-            let sound = v.alliance && v.corner_ok;
-            // Cor. 12 (rounds) and Cor. 11 (moves).
-            let rb = ssr_alliance::verify::corollary12_round_bound(nn);
-            let mb = ssr_alliance::verify::corollary11_move_bound(nn, rec.edges, rec.max_degree);
-            rec.bound_rounds = Some(rb);
-            rec.bound_moves = Some(mb);
-            rec.verdict = if out.terminal && sound && rec.rounds <= rb && rec.moves <= mb {
-                Verdict::Pass
-            } else {
-                Verdict::Fail
-            };
-        }
-    }
-    rec
-}
-
-/// Worst per-process count of SDR-rule moves (Cor. 4's measure),
-/// shared by the reset-composed families.
-fn max_sdr_moves_per_process(g: &Graph, stats: &ssr_runtime::RunStats, rule_count: usize) -> u64 {
-    g.nodes()
-        .map(|u| {
-            [RULE_RB, RULE_RF, RULE_C, RULE_R]
-                .iter()
-                .map(|&r| stats.moves_of(u, r, rule_count))
-                .sum::<u64>()
-        })
-        .max()
-        .unwrap_or(0)
-}
-
-impl ScenarioRecord {
-    fn fill(&mut self, out: &ssr_runtime::RunOutcome, steps: u64) {
+    fn apply(&mut self, out: &FamilyRunOutcome) {
         self.reached = out.reached;
         self.terminal = out.terminal;
         self.reason = Some(out.reason);
-        self.steps = steps;
-        self.moves = out.moves_at_hit;
-        self.rounds = out.rounds_at_hit;
+        self.steps = out.steps;
+        self.moves = out.moves;
+        self.rounds = out.rounds;
+        self.max_moves_per_process = out.max_moves_per_process;
+        self.bound_rounds = out.bound_rounds;
+        self.bound_moves = out.bound_moves;
+        self.verdict = out.verdict;
     }
 }
 
-/// E11-style clock corruption: run the legitimate system for `10n`
-/// steps, then overwrite the clocks of `k` distinct random processes
-/// (reset variables stay clean) and zero the counters so the run
-/// measures recovery in isolation.
-pub fn warm_up_and_corrupt_clocks(
-    sim: &mut Simulator<'_, ssr_unison::UnisonSdr>,
-    k: u64,
-    period: u64,
-    rng: &mut Xoshiro256StarStar,
-) {
-    let n = sim.graph().node_count();
-    sim.execution().cap(10 * n as u64).run();
-    let k = (k as usize).min(n);
-    // Clock-only corruption: keep each victim's reset variables,
-    // overwrite its inner clock. Victim selection is shared with
-    // callers that need the same fault pattern across systems — any
-    // `corrupt_random` call on an equally-seeded RNG picks the same
-    // victims.
-    let snapshot = sim.states().to_vec();
-    ssr_runtime::faults::corrupt_random(sim, k, rng, |u, r| {
-        let mut s = snapshot[u.index()];
-        s.inner = r.below(period);
-        s
-    });
-    sim.reset_stats();
+/// Runs one scenario to completion against the standard family
+/// registry and checks the applicable paper bound. Pure: the record
+/// depends only on the scenario (never on which thread runs it or
+/// when).
+pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
+    run_scenario_in(families::default_registry(), sc)
+}
+
+/// [`run_scenario`] against a caller-supplied registry — the body is
+/// nothing but a lookup, an instantiability check, and the family's
+/// own `run`. Unresolvable or non-instantiable scenarios come back
+/// with [`Verdict::Skip`].
+pub fn run_scenario_in(registry: &FamilyRegistry, sc: Scenario) -> ScenarioRecord {
+    let [graph_seed, init_seed, sim_seed, fault_seed] = sc.seeds::<4>();
+    let g = sc.topology.build(sc.n, graph_seed);
+    let mut rec = ScenarioRecord::skeleton(&sc, &g);
+    let Some(family) = registry.resolve(&sc.algorithm) else {
+        return rec; // Verdict::Skip
+    };
+    if !family.instantiable(&g) {
+        return rec; // Verdict::Skip
+    }
+    let out = family.run(
+        &g,
+        &sc.init,
+        &sc.daemon,
+        RunSeeds {
+            init: init_seed,
+            sim: sim_seed,
+            fault: fault_seed,
+        },
+        sc.step_cap,
+        None,
+    );
+    rec.apply(&out);
+    rec
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{Amount, PresetSpec, TopologySpec};
+    use crate::families;
+    use crate::scenario::{AlgorithmSpec, Amount, InitPlan, PresetSpec, TopologySpec};
     use ssr_runtime::Daemon;
 
     fn sc(algorithm: AlgorithmSpec, init: InitPlan) -> Scenario {
@@ -410,10 +193,7 @@ mod tests {
 
     #[test]
     fn sdr_agreement_passes_its_bounds() {
-        let rec = run_scenario(sc(
-            AlgorithmSpec::SdrAgreement { domain: 5 },
-            InitPlan::Arbitrary,
-        ));
+        let rec = run_scenario(sc(families::sdr_agreement(5), InitPlan::Arbitrary));
         assert_eq!(rec.verdict, Verdict::Pass, "{rec:?}");
         assert!(rec.reached);
         assert_eq!(rec.bound_rounds, Some(3 * rec.nodes));
@@ -429,21 +209,21 @@ mod tests {
                 k: Amount::QuarterN,
             },
         ] {
-            let rec = run_scenario(sc(AlgorithmSpec::UnisonSdr, init));
+            let rec = run_scenario(sc(families::unison_sdr(), init));
             assert_eq!(rec.verdict, Verdict::Pass, "{init:?}: {rec:?}");
         }
     }
 
     #[test]
     fn normal_init_is_instant_for_unison() {
-        let rec = run_scenario(sc(AlgorithmSpec::UnisonSdr, InitPlan::Normal));
+        let rec = run_scenario(sc(families::unison_sdr(), InitPlan::Normal));
         assert_eq!(rec.moves, 0, "γ_init is already normal");
         assert_eq!(rec.rounds, 0);
     }
 
     #[test]
     fn cfg_baseline_reports_no_bound() {
-        let rec = run_scenario(sc(AlgorithmSpec::CfgUnison, InitPlan::Arbitrary));
+        let rec = run_scenario(sc(families::cfg_unison(), InitPlan::Arbitrary));
         assert_eq!(rec.verdict, Verdict::NoBound);
         assert!(rec.reached, "small rings recover within the cap");
     }
@@ -451,7 +231,7 @@ mod tests {
     #[test]
     fn mono_reset_recovers_from_corruption() {
         let rec = run_scenario(sc(
-            AlgorithmSpec::MonoReset,
+            families::mono_reset(),
             InitPlan::CorruptClocks {
                 k: Amount::Fixed(2),
             },
@@ -463,23 +243,48 @@ mod tests {
     #[test]
     fn fga_families_terminate_within_bounds() {
         for algorithm in [
-            AlgorithmSpec::FgaSdr {
-                preset: PresetSpec::Domination,
-            },
-            AlgorithmSpec::FgaStandalone {
-                preset: PresetSpec::Domination,
-            },
+            families::fga_sdr(PresetSpec::Domination),
+            families::fga_standalone(PresetSpec::Domination),
         ] {
-            let rec = run_scenario(sc(algorithm, InitPlan::Arbitrary));
+            let rec = run_scenario(sc(algorithm.clone(), InitPlan::Arbitrary));
             assert_eq!(rec.verdict, Verdict::Pass, "{algorithm:?}: {rec:?}");
             assert!(rec.terminal);
         }
     }
 
     #[test]
+    fn unknown_families_are_skipped_not_failed() {
+        let rec = run_scenario(sc(AlgorithmSpec::plain("no-such-family"), InitPlan::Normal));
+        assert_eq!(rec.verdict, Verdict::Skip);
+        assert_eq!(rec.reason, None);
+        assert_eq!(rec.algorithm, "no-such-family");
+        assert!(rec.verdict.ok(), "skips never fail a campaign");
+    }
+
+    #[test]
+    fn non_instantiable_presets_are_skipped() {
+        // 2-domination needs δ ≥ 2 everywhere; a star's leaves fail.
+        let mut scenario = sc(
+            families::fga_sdr(PresetSpec::TwoDomination),
+            InitPlan::Normal,
+        );
+        scenario.topology = TopologySpec::Star;
+        let rec = run_scenario(scenario);
+        assert_eq!(rec.verdict, Verdict::Skip);
+    }
+
+    #[test]
     fn record_is_independent_of_everything_but_the_scenario() {
-        let a = run_scenario(sc(AlgorithmSpec::UnisonSdr, InitPlan::Arbitrary));
-        let b = run_scenario(sc(AlgorithmSpec::UnisonSdr, InitPlan::Arbitrary));
+        let a = run_scenario(sc(families::unison_sdr(), InitPlan::Arbitrary));
+        let b = run_scenario(sc(families::unison_sdr(), InitPlan::Arbitrary));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_registries_drive_the_same_body() {
+        let registry = families::standard_families();
+        let a = run_scenario_in(&registry, sc(families::unison_sdr(), InitPlan::Arbitrary));
+        let b = run_scenario(sc(families::unison_sdr(), InitPlan::Arbitrary));
         assert_eq!(a, b);
     }
 }

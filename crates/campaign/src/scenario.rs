@@ -1,15 +1,28 @@
 //! Declarative scenario descriptions.
 //!
 //! A [`Scenario`] names one simulation run without executing anything:
-//! a topology spec × size, an algorithm family, a daemon, an initial
-//! configuration plan, and a derived seed. Scenarios are plain data
-//! (`Send + Sync`), so a campaign can hand them to worker threads and
-//! every worker can expand its scenario into graphs, algorithms, and
-//! simulators locally — nothing mutable is ever shared.
+//! a topology spec × size, an algorithm family handle, a daemon, an
+//! initial configuration plan, and a derived seed. Scenarios are plain
+//! data (`Send + Sync`), so a campaign can hand them to worker threads
+//! and every worker can expand its scenario into graphs, algorithms,
+//! and simulators locally — nothing mutable is ever shared.
+//!
+//! The algorithm axis is the string-addressable
+//! [`AlgorithmSpec`](ssr_runtime::family::AlgorithmSpec) handle,
+//! resolved against a
+//! [`FamilyRegistry`](ssr_runtime::family::FamilyRegistry) at run
+//! time; [`crate::families`] provides the standard registry and
+//! convenience constructors for the built-in labels.
 
 use ssr_graph::{generators, Graph};
 use ssr_runtime::rng::splitmix64;
 use ssr_runtime::Daemon;
+
+// The scenario vocabulary lives with the family abstraction in the
+// runtime (so family implementations can consume it); campaign keeps
+// re-exporting it under the historical paths.
+pub use ssr_alliance::presets::PresetSpec;
+pub use ssr_runtime::family::{AlgorithmSpec, Amount, InitPlan, Params};
 
 /// Topology family, expanded into a concrete [`Graph`] on demand.
 ///
@@ -108,179 +121,6 @@ impl TopologySpec {
     }
 }
 
-/// One of the six §6.1 (f,g)-alliance reductions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PresetSpec {
-    /// Domination: `(1, 0)`.
-    Domination,
-    /// 2-domination: `(2, 0)`.
-    TwoDomination,
-    /// 2-tuple domination: `(2, 1)`.
-    TwoTuple,
-    /// Global offensive alliance.
-    Offensive,
-    /// Global defensive alliance.
-    Defensive,
-    /// Global powerful alliance.
-    Powerful,
-}
-
-impl PresetSpec {
-    /// All six presets in the §6.1 order.
-    pub fn all() -> [PresetSpec; 6] {
-        [
-            PresetSpec::Domination,
-            PresetSpec::TwoDomination,
-            PresetSpec::TwoTuple,
-            PresetSpec::Offensive,
-            PresetSpec::Defensive,
-            PresetSpec::Powerful,
-        ]
-    }
-
-    /// Label matching `ssr_alliance::presets::all_presets`.
-    pub fn label(&self) -> &'static str {
-        match self {
-            PresetSpec::Domination => "domination(1,0)",
-            PresetSpec::TwoDomination => "2-domination(2,0)",
-            PresetSpec::TwoTuple => "2-tuple(2,1)",
-            PresetSpec::Offensive => "offensive",
-            PresetSpec::Defensive => "defensive",
-            PresetSpec::Powerful => "powerful",
-        }
-    }
-
-    /// Instantiates the preset on `graph`, `None` when the (f,g) pair
-    /// is not valid there.
-    pub fn build(&self, graph: &Graph) -> Option<ssr_alliance::Fga> {
-        use ssr_alliance::presets;
-        match self {
-            PresetSpec::Domination => presets::domination(graph).ok(),
-            PresetSpec::TwoDomination => presets::k_domination(graph, 2).ok(),
-            PresetSpec::TwoTuple => presets::k_tuple_domination(graph, 2).ok(),
-            PresetSpec::Offensive => presets::global_offensive(graph).ok(),
-            PresetSpec::Defensive => presets::global_defensive(graph).ok(),
-            PresetSpec::Powerful => presets::global_powerful(graph).ok(),
-        }
-    }
-}
-
-/// Algorithm family swept by a campaign.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AlgorithmSpec {
-    /// Pure SDR over the rule-less `Agreement` toy input.
-    SdrAgreement {
-        /// Agreement value domain.
-        domain: u32,
-    },
-    /// `U ∘ SDR` (self-stabilizing unison).
-    UnisonSdr,
-    /// The CFG-style baseline (uncoordinated local resets).
-    CfgUnison,
-    /// Mono-initiator reset over U (root = node 0).
-    MonoReset,
-    /// `FGA ∘ SDR` with one of the §6.1 presets.
-    FgaSdr {
-        /// The (f,g) reduction.
-        preset: PresetSpec,
-    },
-    /// Standalone FGA from `γ_init` with one of the §6.1 presets.
-    FgaStandalone {
-        /// The (f,g) reduction.
-        preset: PresetSpec,
-    },
-}
-
-impl AlgorithmSpec {
-    /// Short label used in records and report tables.
-    pub fn label(&self) -> String {
-        match self {
-            AlgorithmSpec::SdrAgreement { domain } => format!("sdr-agreement({domain})"),
-            AlgorithmSpec::UnisonSdr => "unison-sdr".into(),
-            AlgorithmSpec::CfgUnison => "cfg-unison".into(),
-            AlgorithmSpec::MonoReset => "mono-reset".into(),
-            AlgorithmSpec::FgaSdr { preset } => format!("fga-sdr:{}", preset.label()),
-            AlgorithmSpec::FgaStandalone { preset } => format!("fga:{}", preset.label()),
-        }
-    }
-}
-
-/// A size-relative quantity (fault count, tear gap) resolved against
-/// the actual node count at execution time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Amount {
-    /// A fixed value.
-    Fixed(u64),
-    /// `max(n/4, 1)`.
-    QuarterN,
-    /// `max(n/2, 1)`.
-    HalfN,
-    /// `n`.
-    N,
-}
-
-impl Amount {
-    /// Resolves against node count `n`.
-    pub fn resolve(&self, n: u64) -> u64 {
-        match self {
-            Amount::Fixed(v) => *v,
-            Amount::QuarterN => (n / 4).max(1),
-            Amount::HalfN => (n / 2).max(1),
-            Amount::N => n,
-        }
-    }
-
-    /// Symbolic label (size-independent).
-    pub fn label(&self) -> String {
-        match self {
-            Amount::Fixed(v) => v.to_string(),
-            Amount::QuarterN => "n/4".into(),
-            Amount::HalfN => "n/2".into(),
-            Amount::N => "n".into(),
-        }
-    }
-}
-
-/// How the initial configuration of a run is produced.
-///
-/// Plans that are meaningless for a given algorithm family degrade
-/// gracefully: families without an arbitrary-configuration sampler use
-/// their `γ_init`, and `Tear`/`CorruptClocks` fall back to `Arbitrary`
-/// outside the unison families (the runner documents the exact rules).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum InitPlan {
-    /// The algorithm's arbitrary-configuration sampler (transient-fault
-    /// soup) — the self-stabilization quantifier.
-    Arbitrary,
-    /// The algorithm's designated initial configuration (`γ_init` /
-    /// all-zero clocks).
-    Normal,
-    /// A maximal legal clock gradient with a discontinuity of `gap`
-    /// in the middle (unison families).
-    Tear {
-        /// Size of the clock discontinuity.
-        gap: Amount,
-    },
-    /// Start legitimate, let the system run briefly, then corrupt `k`
-    /// random clocks and measure recovery (unison families).
-    CorruptClocks {
-        /// Number of corrupted processes.
-        k: Amount,
-    },
-}
-
-impl InitPlan {
-    /// Short label used in records and report tables.
-    pub fn label(&self) -> String {
-        match self {
-            InitPlan::Arbitrary => "arbitrary".into(),
-            InitPlan::Normal => "normal".into(),
-            InitPlan::Tear { gap } => format!("tear({})", gap.label()),
-            InitPlan::CorruptClocks { k } => format!("corrupt({})", k.label()),
-        }
-    }
-}
-
 /// One fully-specified run: the unit of work a campaign worker drains.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -292,7 +132,8 @@ pub struct Scenario {
     /// Nominal network size (the actual node count may differ by the
     /// family's clamping rules, see [`TopologySpec::build`]).
     pub n: usize,
-    /// Algorithm family.
+    /// Algorithm family handle, resolved against a registry at run
+    /// time.
     pub algorithm: AlgorithmSpec,
     /// Daemon strategy.
     pub daemon: Daemon,
@@ -319,6 +160,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::families;
 
     #[test]
     fn topology_labels_unique() {
@@ -381,15 +223,6 @@ mod tests {
     }
 
     #[test]
-    fn amounts_resolve() {
-        assert_eq!(Amount::Fixed(3).resolve(100), 3);
-        assert_eq!(Amount::QuarterN.resolve(12), 3);
-        assert_eq!(Amount::HalfN.resolve(12), 6);
-        assert_eq!(Amount::N.resolve(12), 12);
-        assert_eq!(Amount::QuarterN.resolve(1), 1, "clamped to ≥ 1");
-    }
-
-    #[test]
     fn preset_labels_match_alliance_presets() {
         let g = generators::ring(8);
         let from_presets: Vec<&str> = ssr_alliance::presets::all_presets(&g)
@@ -413,7 +246,7 @@ mod tests {
             index: 5,
             topology: TopologySpec::Ring,
             n: 8,
-            algorithm: AlgorithmSpec::UnisonSdr,
+            algorithm: families::unison_sdr(),
             daemon: Daemon::Central,
             init: InitPlan::Arbitrary,
             trial: 0,

@@ -1,81 +1,9 @@
-//! Adversarial initial configurations used by the init plans (and
-//! re-exported to the experiment harness).
+//! Adversarial initial configurations used by the init plans.
+//!
+//! The workloads now live next to the algorithms that own them
+//! (`ssr-core` for the SDR broadcast chain, `ssr-unison` for the clock
+//! tears); this module keeps the historical re-export paths for the
+//! experiment harness and external callers.
 
-use ssr_core::{Composed, SdrState, Status};
-use ssr_graph::Graph;
-
-/// A "clock tear" workload for unison: a maximal legal gradient with a
-/// discontinuity of `gap` in the middle — the classic locally-checkable
-/// inconsistency (all reset variables clean).
-pub fn unison_tear(graph: &Graph, period: u64, gap: u64) -> Vec<Composed<u64>> {
-    let n = graph.node_count();
-    graph
-        .nodes()
-        .map(|u| {
-            let i = u.index();
-            let clock = if i < n / 2 {
-                (i as u64) % period
-            } else {
-                (i as u64 + gap) % period
-            };
-            Composed::new(SdrState::new(Status::C, 0), clock)
-        })
-        .collect()
-}
-
-/// Plain clock vector version of [`unison_tear`] (for the CFG baseline,
-/// which has no reset variables).
-pub fn unison_tear_plain(graph: &Graph, period: u64, gap: u64) -> Vec<u64> {
-    unison_tear(graph, period, gap)
-        .into_iter()
-        .map(|c| c.inner)
-        .collect()
-}
-
-/// A hand-crafted near-worst-case SDR configuration: one long reset
-/// branch in mid-broadcast — node `i` has status `RB` with distance `i`
-/// (a maximal-depth chain per Lemma 7), the far end already in
-/// feedback, and the input reset everywhere.
-///
-/// Feedback must climb the whole chain before the completion wave walks
-/// back down, which is the mechanism behind the `3n`-round bound.
-pub fn sdr_broadcast_chain<I: ssr_core::ResetInput>(
-    sdr: &ssr_core::Sdr<I>,
-    graph: &Graph,
-) -> Vec<Composed<I::State>> {
-    let n = graph.node_count();
-    graph
-        .nodes()
-        .map(|u| {
-            let i = u.index();
-            let status = if i + 1 == n { Status::RF } else { Status::RB };
-            Composed::new(SdrState::new(status, i as u32), sdr.input().reset_state(u))
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ssr_graph::generators;
-
-    #[test]
-    fn tear_has_discontinuity() {
-        let g = generators::path(8);
-        let states = unison_tear(&g, 9, 4);
-        // Left half is a unit gradient; the middle edge jumps by 4.
-        assert_eq!(states[3].inner, 3);
-        assert_eq!(states[4].inner, 8);
-        let plain = unison_tear_plain(&g, 9, 4);
-        assert_eq!(plain[4], 8);
-    }
-
-    #[test]
-    fn tear_reset_variables_are_clean() {
-        let g = generators::ring(10);
-        for s in unison_tear(&g, 11, 5) {
-            assert_eq!(s.sdr.status, Status::C);
-            assert_eq!(s.sdr.dist, 0);
-        }
-    }
-}
+pub use ssr_core::workloads::sdr_broadcast_chain;
+pub use ssr_unison::workloads::{unison_tear, unison_tear_plain};

@@ -2,7 +2,7 @@
 //! thread and with 4 threads yields identical serialized results.
 
 use proptest::prelude::*;
-use ssr_campaign::{engine, output, AlgorithmSpec, Amount, Campaign, InitPlan, TopologySpec};
+use ssr_campaign::{engine, families, output, Amount, Campaign, InitPlan, TopologySpec};
 use ssr_runtime::Daemon;
 
 proptest! {
@@ -29,10 +29,7 @@ proptest! {
         let campaign = Campaign::new("prop-determinism")
             .topologies(vec![TopologySpec::Ring, TopologySpec::RandTree])
             .sizes(vec![size])
-            .algorithms(vec![
-                AlgorithmSpec::SdrAgreement { domain: 4 },
-                AlgorithmSpec::UnisonSdr,
-            ])
+            .algorithms(vec![families::sdr_agreement(4), families::unison_sdr()])
             .daemons(daemons)
             .inits(inits)
             .trials(trials)
@@ -58,12 +55,10 @@ fn mixed_family_grid_is_thread_invariant() {
         ])
         .sizes(vec![6, 9])
         .algorithms(vec![
-            AlgorithmSpec::UnisonSdr,
-            AlgorithmSpec::CfgUnison,
-            AlgorithmSpec::MonoReset,
-            AlgorithmSpec::FgaSdr {
-                preset: ssr_campaign::PresetSpec::Domination,
-            },
+            families::unison_sdr(),
+            families::cfg_unison(),
+            families::mono_reset(),
+            families::fga_sdr(ssr_campaign::PresetSpec::Domination),
         ])
         .daemons(vec![Daemon::Central, Daemon::RandomSubset { p: 0.3 }])
         .inits(vec![

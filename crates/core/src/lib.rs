@@ -41,16 +41,19 @@
 //! ```
 
 mod analysis;
+pub mod family;
 mod input;
 mod sdr;
 mod state;
 pub mod toys;
 pub mod validate;
+pub mod workloads;
 
 pub use analysis::{
     alive_roots, dead_roots, max_branch_depth, reset_children, reset_parents, RuleKind,
     SegmentObserver, SegmentReport, SegmentTracker,
 };
+pub use family::{composed, ComposedFamily};
 pub use input::{ResetInput, Standalone};
 pub use sdr::{Sdr, RULE_C, RULE_R, RULE_RB, RULE_RF, SDR_RULE_COUNT};
 pub use state::{Composed, SdrState, Status};

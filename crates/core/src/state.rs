@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use ssr_runtime::exhaustive::ExploreState;
+
 /// The reset status of a process (variable `st_u`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum Status {
@@ -114,6 +116,59 @@ impl<S: fmt::Display> fmt::Display for Composed<S> {
     }
 }
 
+impl ExploreState for Status {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(match self {
+            Status::C => 0,
+            Status::RB => 1,
+            Status::RF => 2,
+        });
+    }
+}
+
+impl ExploreState for SdrState {
+    /// One word: `status | dist << 2`, with `dist` canonicalized to 0
+    /// while the status is `C` — the distance is dead there (§3.2: no
+    /// predicate ever reads it in that case, and every rule that
+    /// leaves `C` overwrites it), so `(C, 7)` and `(C, 0)` are the
+    /// same canonical state. This quotient shrinks the explorer's
+    /// reachable space considerably: after `rule_C` a process parks at
+    /// `(C, d)` with whatever distance the reset wave left behind, and
+    /// without the canonicalization every historical `d` would split
+    /// the state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssr_core::{SdrState, Status};
+    /// use ssr_runtime::exhaustive::ExploreState;
+    ///
+    /// let mut a = Vec::new();
+    /// SdrState::new(Status::C, 7).encode(&mut a);
+    /// let mut b = Vec::new();
+    /// SdrState::new(Status::C, 0).encode(&mut b);
+    /// assert_eq!(a, b, "distance is dead while the status is C");
+    /// ```
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        let word = match self.status {
+            Status::C => 0,
+            Status::RB => 1 | (self.dist as u64) << 2,
+            Status::RF => 2 | (self.dist as u64) << 2,
+        };
+        out.push(word);
+    }
+}
+
+impl<S: ExploreState> ExploreState for Composed<S> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.sdr.encode(out);
+        self.inner.encode(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +198,35 @@ mod tests {
         let c = Composed::new(SdrState::root(), "x");
         assert_eq!(c.sdr.status, Status::RB);
         assert_eq!(c.inner, "x");
+    }
+
+    fn words<S: ExploreState>(s: &S) -> Vec<u64> {
+        let mut out = Vec::new();
+        s.encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn sdr_state_quotients_dead_distance() {
+        assert_eq!(
+            words(&SdrState::new(Status::C, 9)),
+            words(&SdrState::new(Status::C, 0))
+        );
+        assert_ne!(
+            words(&SdrState::new(Status::RB, 9)),
+            words(&SdrState::new(Status::RB, 0))
+        );
+        assert_ne!(
+            words(&SdrState::new(Status::RB, 1)),
+            words(&SdrState::new(Status::RF, 1))
+        );
+    }
+
+    #[test]
+    fn composed_concatenates_components() {
+        let a = Composed::new(SdrState::root(), 3u64);
+        let b = Composed::new(SdrState::root(), 4u64);
+        assert_eq!(words(&a).len(), 2);
+        assert_ne!(words(&a), words(&b));
     }
 }

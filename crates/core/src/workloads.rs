@@ -1,0 +1,45 @@
+//! Structured adversarial SDR configurations shared by campaigns,
+//! explorers, and benches.
+
+use ssr_graph::Graph;
+
+use crate::input::ResetInput;
+use crate::sdr::Sdr;
+use crate::state::{Composed, SdrState, Status};
+
+/// A hand-crafted near-worst-case SDR configuration: one long reset
+/// branch in mid-broadcast — node `i` has status `RB` with distance `i`
+/// (a maximal-depth chain per Lemma 7), the far end already in
+/// feedback, and the input reset everywhere.
+///
+/// Feedback must climb the whole chain before the completion wave walks
+/// back down, which is the mechanism behind the `3n`-round bound.
+pub fn sdr_broadcast_chain<I: ResetInput>(sdr: &Sdr<I>, graph: &Graph) -> Vec<Composed<I::State>> {
+    let n = graph.node_count();
+    graph
+        .nodes()
+        .map(|u| {
+            let i = u.index();
+            let status = if i + 1 == n { Status::RF } else { Status::RB };
+            Composed::new(SdrState::new(status, i as u32), sdr.input().reset_state(u))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toys::Agreement;
+    use ssr_graph::generators;
+
+    #[test]
+    fn broadcast_chain_shape() {
+        let g = generators::path(5);
+        let sdr = Sdr::new(Agreement::new(3));
+        let cfg = sdr_broadcast_chain(&sdr, &g);
+        assert_eq!(cfg[0].sdr, SdrState::new(Status::RB, 0));
+        assert_eq!(cfg[3].sdr, SdrState::new(Status::RB, 3));
+        assert_eq!(cfg[4].sdr, SdrState::new(Status::RF, 4));
+        assert!(cfg.iter().all(|c| c.inner == 0), "input reset everywhere");
+    }
+}

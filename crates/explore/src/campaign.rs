@@ -6,28 +6,35 @@
 //! `ssr_campaign::engine::run_with`, mirroring how the stochastic
 //! experiments drive the engine — the same topology/size/algorithm
 //! axes, the same index-derived seeds, hence the same determinism
-//! contract. For each scenario it derives a fixed *seed set* of
-//! initial configurations (the designated `γ_init`, adversarial
-//! samples, and the structured worst-case workloads), exhausts every
-//! daemon choice from all of them, and reports the exact worst case
-//! next to the paper's closed-form bound.
+//! contract. Scenarios select their family through the **same
+//! registry** as the stochastic runner; a family opts into exhaustive
+//! sweeps by returning its
+//! [`ExploreFamily`](ssr_runtime::family::ExploreFamily) hook from
+//! [`Family::explore`](ssr_runtime::family::Family::explore), which
+//! owns the fixed *seed set* of initial configurations (the designated
+//! `γ_init`, adversarial samples, and the structured worst-case
+//! workloads), exhausts every daemon choice from all of them, and
+//! reports the exact worst case next to the paper's closed-form bound.
 //!
 //! [`stochastic_max`] runs the ordinary stochastic simulator over the
 //! *same* initial configurations (all daemon strategies × trials) —
 //! the observable maxima it returns are guaranteed to be dominated by
 //! the exact worst case, which is exactly the cross-validation E13 and
 //! the property tests assert.
+//!
+//! Families without the hook (`cfg-unison`, `mono-reset`, `fga:<…>`,
+//! unregistered labels) return `None`, mirroring the `Verdict::Skip`
+//! convention of the stochastic runner — and a family registered from
+//! *outside* the workspace explores through the identical path (see
+//! `examples/custom_family.rs`).
 
-use ssr_campaign::workloads::{sdr_broadcast_chain, unison_tear};
-use ssr_campaign::{AlgorithmSpec, Scenario};
-use ssr_core::{toys::Agreement, Sdr};
+use ssr_campaign::{families, Scenario};
 use ssr_graph::Graph;
-use ssr_runtime::rng::splitmix64;
-use ssr_runtime::{Algorithm, ConfigView, Daemon, Execution};
-use ssr_unison::{spec, unison_sdr, Unison};
+use ssr_runtime::family::{ExploreReport, FamilyRegistry};
 
-use crate::encode::ExploreState;
-use crate::engine::{explore, Exploration, ExploreError, ExploreOptions};
+pub use ssr_runtime::family::StochasticMax;
+
+use crate::ExploreOptions;
 
 /// Options for scenario-level exhaustive runs.
 #[derive(Clone, Debug)]
@@ -102,281 +109,81 @@ impl ExhaustiveRecord {
     }
 }
 
-/// Observed maxima of stochastic runs over the same initial seed set
-/// (see [`stochastic_max`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StochasticMax {
-    /// Maximum moves to legitimacy over all runs.
-    pub moves: u64,
-    /// Maximum rounds over all runs.
-    pub rounds: u64,
-    /// Whether every run reached legitimacy within the step cap.
-    pub all_reached: bool,
-    /// Number of runs performed.
-    pub runs: usize,
-}
-
-/// Seeds for the adversarial samples, derived from the scenario seed
-/// (shared by [`explore_scenario`] and [`stochastic_max`] so both
-/// operate on the identical initial seed set).
-fn sample_seeds(sc: &Scenario, samples: usize) -> Vec<u64> {
-    let mut state = sc.seed ^ 0xE13_5EED;
-    (0..samples).map(|_| splitmix64(&mut state)).collect()
-}
-
-/// A consumer of one family's fully-built exploration problem.
-///
-/// The domination cross-check (stochastic maxima ≤ exact worst case)
-/// is only sound if [`explore_scenario`] and [`stochastic_max`]
-/// operate on *identical* initial seed sets and legitimacy predicates,
-/// so that construction lives once in [`dispatch_family`] and both
-/// entry points are visitors over it.
-trait FamilyVisitor {
-    type Out;
-    fn visit<A, P>(
-        self,
-        graph: &Graph,
-        algo: &A,
-        inits: Vec<Vec<A::State>>,
-        legit: P,
-        bounds: (Option<u64>, Option<u64>),
-    ) -> Self::Out
-    where
-        A: Algorithm + Sync + Clone,
-        A::State: ExploreState + Send + Sync,
-        P: Fn(&Graph, &[A::State]) -> bool + Clone;
-}
-
-/// Builds the scenario's family once — algorithm instance, the initial
-/// seed set (`γ_init`, broadcast chain, tear for the unison family,
-/// adversarial samples), legitimacy predicate, and the paper's
-/// closed-form `(moves, rounds)` bounds — and hands it to `visitor`.
-///
-/// Supported families: pure SDR (Agreement), `U ∘ SDR`, `FGA ∘ SDR`.
-/// Everything else returns `None` (mirroring the `Verdict::Skip`
-/// convention of the stochastic runner).
-fn dispatch_family<V: FamilyVisitor>(
-    sc: &Scenario,
-    g: &Graph,
-    samples: usize,
-    visitor: V,
-) -> Option<V::Out> {
-    let nn = g.node_count() as u64;
-    let seeds = sample_seeds(sc, samples);
-    match sc.algorithm {
-        AlgorithmSpec::SdrAgreement { domain } => {
-            let algo = Sdr::new(Agreement::new(domain));
-            let check = Sdr::new(Agreement::new(domain));
-            let mut inits = vec![algo.initial_config(g), sdr_broadcast_chain(&algo, g)];
-            inits.extend(seeds.iter().map(|&s| algo.arbitrary_config(g, s)));
-            // Cor. 5 (rounds); Cor. 4 summed over processes (Agreement
-            // has no rules of its own, so every move is an SDR move).
-            let bounds = (Some(nn * (3 * nn + 3)), Some(3 * nn));
-            Some(visitor.visit(
-                g,
-                &algo,
-                inits,
-                move |gr: &Graph, st: &[_]| check.is_normal_config(gr, st),
-                bounds,
-            ))
-        }
-        AlgorithmSpec::UnisonSdr => {
-            let algo = unison_sdr(Unison::for_graph(g));
-            let check = unison_sdr(Unison::for_graph(g));
-            let period = algo.input().period();
-            let mut inits = vec![
-                algo.initial_config(g),
-                sdr_broadcast_chain(&algo, g),
-                unison_tear(g, period, (nn / 2).max(1)),
-            ];
-            inits.extend(seeds.iter().map(|&s| algo.arbitrary_config(g, s)));
-            let d = ssr_graph::metrics::diameter(g).max(1) as u64;
-            // Thm 6 (moves) and Thm 7 (rounds).
-            let bounds = (
-                Some(spec::theorem6_move_bound(nn, d)),
-                Some(spec::theorem7_round_bound(nn)),
-            );
-            Some(visitor.visit(
-                g,
-                &algo,
-                inits,
-                move |gr: &Graph, st: &[_]| check.is_normal_config(gr, st),
-                bounds,
-            ))
-        }
-        AlgorithmSpec::FgaSdr { preset } => {
-            let fga = preset.build(g)?;
-            let algo = ssr_alliance::fga_sdr(fga);
-            let check = algo.clone();
-            let mut inits = vec![algo.initial_config(g), sdr_broadcast_chain(&algo, g)];
-            inits.extend(seeds.iter().map(|&s| algo.arbitrary_config(g, s)));
-            let m = g.edge_count() as u64;
-            let delta = g.max_degree() as u64;
-            // FGA ∘ SDR is silent: legitimate = terminal (Thm 11), so
-            // the target predicate is terminality, measured against
-            // Thm 12 (moves) and Thm 14 (rounds).
-            let bounds = (
-                Some(ssr_alliance::verify::theorem12_move_bound(nn, m, delta)),
-                Some(ssr_alliance::verify::theorem14_round_bound(nn)),
-            );
-            Some(visitor.visit(
-                g,
-                &algo,
-                inits,
-                move |gr: &Graph, st: &[_]| {
-                    let view = ConfigView::new(gr, st);
-                    gr.nodes().all(|u| check.enabled_mask(u, &view).is_empty())
-                },
-                bounds,
-            ))
-        }
-        _ => None,
-    }
-}
-
-/// Exhaustively explores a scenario's family: pure SDR (Agreement),
-/// `U ∘ SDR`, or `FGA ∘ SDR`; `None` for unsupported families
-/// (mirroring the `Verdict::Skip` convention of the stochastic
-/// runner). The seed-set construction is shared with
-/// [`stochastic_max`] — both always operate on identical initial
-/// configurations.
+/// Exhaustively explores a scenario's family through the standard
+/// registry; `None` for families without an explore hook (mirroring
+/// the `Verdict::Skip` convention of the stochastic runner) or not
+/// instantiable on the scenario's graph. The seed-set construction is
+/// owned by the family and shared with [`stochastic_max`] — both
+/// always operate on identical initial configurations.
 pub fn explore_scenario(sc: &Scenario, opts: &ScenarioExploreOptions) -> Option<ExhaustiveRecord> {
+    explore_scenario_in(families::default_registry(), sc, opts)
+}
+
+/// [`explore_scenario`] against a caller-supplied registry — how
+/// user-registered families run exhaustive sweeps without touching
+/// any workspace crate.
+pub fn explore_scenario_in(
+    registry: &FamilyRegistry,
+    sc: &Scenario,
+    opts: &ScenarioExploreOptions,
+) -> Option<ExhaustiveRecord> {
     let [graph_seed, _, _, _] = sc.seeds::<4>();
     let g = sc.topology.build(sc.n, graph_seed);
-    struct Explore<'a>(&'a ScenarioExploreOptions);
-    impl FamilyVisitor for Explore<'_> {
-        type Out = FamilyOutcome;
-        fn visit<A, P>(
-            self,
-            graph: &Graph,
-            algo: &A,
-            inits: Vec<Vec<A::State>>,
-            legit: P,
-            bounds: (Option<u64>, Option<u64>),
-        ) -> FamilyOutcome
-        where
-            A: Algorithm + Sync + Clone,
-            A::State: ExploreState + Send + Sync,
-            P: Fn(&Graph, &[A::State]) -> bool + Clone,
-        {
-            run_family(graph, algo, inits, legit, bounds, self.0)
-        }
+    let family = registry.resolve(&sc.algorithm)?;
+    if !family.instantiable(&g) {
+        return None;
     }
-    let rec = dispatch_family(sc, &g, opts.init_samples, Explore(opts))?;
-    Some(finish_record(sc, &g, rec))
+    let explorer = family.explore()?;
+    let report = explorer.explore(&g, sc.seed, opts.init_samples, &opts.explore);
+    let bounds = explorer.bounds(&g);
+    Some(finish_record(sc, &g, report, bounds))
 }
 
-/// Runs the stochastic simulator over the scenario's exhaustive seed
-/// set: every [`Daemon::all_strategies`] entry ×
+/// Runs the stochastic simulator over the scenario family's exhaustive
+/// seed set: every `Daemon::all_strategies` entry ×
 /// [`ScenarioExploreOptions::stochastic_trials`] trials per initial
 /// configuration, reporting the observed maxima.
 pub fn stochastic_max(sc: &Scenario, opts: &ScenarioExploreOptions) -> Option<StochasticMax> {
+    stochastic_max_in(families::default_registry(), sc, opts)
+}
+
+/// [`stochastic_max`] against a caller-supplied registry.
+pub fn stochastic_max_in(
+    registry: &FamilyRegistry,
+    sc: &Scenario,
+    opts: &ScenarioExploreOptions,
+) -> Option<StochasticMax> {
     let [graph_seed, _, _, _] = sc.seeds::<4>();
     let g = sc.topology.build(sc.n, graph_seed);
-    struct Stochastic<'a> {
-        sc: &'a Scenario,
-        opts: &'a ScenarioExploreOptions,
+    let family = registry.resolve(&sc.algorithm)?;
+    if !family.instantiable(&g) {
+        return None;
     }
-    impl FamilyVisitor for Stochastic<'_> {
-        type Out = StochasticMax;
-        fn visit<A, P>(
-            self,
-            graph: &Graph,
-            algo: &A,
-            inits: Vec<Vec<A::State>>,
-            legit: P,
-            _bounds: (Option<u64>, Option<u64>),
-        ) -> StochasticMax
-        where
-            A: Algorithm + Sync + Clone,
-            A::State: ExploreState + Send + Sync,
-            P: Fn(&Graph, &[A::State]) -> bool + Clone,
-        {
-            run_stochastic(graph, algo, &inits, legit, self.sc, self.opts)
-        }
-    }
-    dispatch_family(sc, &g, opts.init_samples, Stochastic { sc, opts })
+    let explorer = family.explore()?;
+    Some(explorer.stochastic_max(
+        &g,
+        sc.seed,
+        opts.init_samples,
+        opts.stochastic_trials,
+        sc.step_cap,
+    ))
 }
 
-/// Explores one family and validates the witnesses by replay.
-fn run_family<A, P>(
-    graph: &Graph,
-    algo: &A,
-    inits: Vec<Vec<A::State>>,
-    legit: P,
-    bounds: (Option<u64>, Option<u64>),
-    opts: &ScenarioExploreOptions,
-) -> FamilyOutcome
-where
-    A: Algorithm + Sync + Clone,
-    A::State: ExploreState + Send + Sync,
-    P: Fn(&Graph, &[A::State]) -> bool + Clone,
-{
-    let init_count = inits.len();
-    let daemon_class = opts.explore.daemon.label();
-    match explore(graph, algo, &inits, legit.clone(), &opts.explore) {
-        Err(err) => FamilyOutcome {
-            init_count,
-            daemon_class,
-            bounds,
-            result: Err(err),
-        },
-        Ok(ex) => {
-            let mut replay_ok = true;
-            for w in [&ex.witness_moves, &ex.witness_rounds]
-                .into_iter()
-                .flatten()
-            {
-                let p = legit.clone();
-                let out = w.replay(graph, algo.clone(), inits[w.init].clone(), move |gr, st| {
-                    p(gr, st)
-                });
-                replay_ok &= w.matches(&out);
-            }
-            FamilyOutcome {
-                init_count,
-                daemon_class,
-                bounds,
-                result: Ok((summarize(&ex), replay_ok)),
-            }
-        }
-    }
-}
-
-/// The type-erased part of an exploration a record needs.
-struct ExploreSummary {
-    states: u64,
-    transitions: u64,
-    verified: bool,
-    worst: Option<crate::engine::WorstCase>,
-}
-
-fn summarize<S>(ex: &Exploration<S>) -> ExploreSummary {
-    ExploreSummary {
-        states: ex.states as u64,
-        transitions: ex.transitions as u64,
-        verified: ex.verified(),
-        worst: ex.worst,
-    }
-}
-
-struct FamilyOutcome {
-    init_count: usize,
-    daemon_class: &'static str,
-    bounds: (Option<u64>, Option<u64>),
-    result: Result<(ExploreSummary, bool), ExploreError>,
-}
-
-fn finish_record(sc: &Scenario, g: &Graph, out: FamilyOutcome) -> ExhaustiveRecord {
-    let (bound_moves, bound_rounds) = out.bounds;
+fn finish_record(
+    sc: &Scenario,
+    g: &Graph,
+    report: ExploreReport,
+    bounds: ssr_runtime::family::Bounds,
+) -> ExhaustiveRecord {
+    let (bound_moves, bound_rounds) = (bounds.moves, bounds.rounds);
     let mut rec = ExhaustiveRecord {
         index: sc.index,
         topology: sc.topology.label(),
         n: sc.n,
         nodes: g.node_count() as u64,
         algorithm: sc.algorithm.label(),
-        daemon_class: out.daemon_class,
-        init_count: out.init_count,
+        daemon_class: report.daemon_class,
+        init_count: report.init_count,
         states: 0,
         transitions: 0,
         exact_moves: 0,
@@ -389,7 +196,7 @@ fn finish_record(sc: &Scenario, g: &Graph, out: FamilyOutcome) -> ExhaustiveReco
         replay_ok: false,
         error: None,
     };
-    match out.result {
+    match report.result {
         Err(err) => rec.error = Some(err.to_string()),
         Ok((summary, replay_ok)) => {
             rec.states = summary.states;
@@ -408,50 +215,12 @@ fn finish_record(sc: &Scenario, g: &Graph, out: FamilyOutcome) -> ExhaustiveReco
     rec
 }
 
-fn run_stochastic<A, P>(
-    graph: &Graph,
-    algo: &A,
-    inits: &[Vec<A::State>],
-    legit: P,
-    sc: &Scenario,
-    opts: &ScenarioExploreOptions,
-) -> StochasticMax
-where
-    A: Algorithm + Clone,
-    P: Fn(&Graph, &[A::State]) -> bool + Clone,
-{
-    let mut max = StochasticMax {
-        all_reached: true,
-        ..StochasticMax::default()
-    };
-    let mut seed_state = sc.seed ^ 0x570C_4A57;
-    for init in inits {
-        for daemon in Daemon::all_strategies() {
-            for _ in 0..opts.stochastic_trials {
-                let p = legit.clone();
-                let out = Execution::of(graph, algo.clone())
-                    .init(init.clone())
-                    .daemon(daemon.clone())
-                    .seed(splitmix64(&mut seed_state))
-                    .cap(sc.step_cap)
-                    .until(move |gr, st| p(gr, st))
-                    .run();
-                max.runs += 1;
-                max.all_reached &= out.reached;
-                if out.reached {
-                    max.moves = max.moves.max(out.moves_at_hit);
-                    max.rounds = max.rounds.max(out.rounds_at_hit);
-                }
-            }
-        }
-    }
-    max
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_campaign::{InitPlan, TopologySpec};
+    use crate::ExploreOptions;
+    use ssr_campaign::{AlgorithmSpec, InitPlan, TopologySpec};
+    use ssr_runtime::Daemon;
 
     fn scenario(topology: TopologySpec, n: usize, algorithm: AlgorithmSpec) -> Scenario {
         Scenario {
@@ -469,11 +238,7 @@ mod tests {
 
     #[test]
     fn sdr_agreement_scenario_verifies_exactly() {
-        let sc = scenario(
-            TopologySpec::Path,
-            4,
-            AlgorithmSpec::SdrAgreement { domain: 2 },
-        );
+        let sc = scenario(TopologySpec::Path, 4, families::sdr_agreement(2));
         let rec = explore_scenario(&sc, &ScenarioExploreOptions::default()).expect("supported");
         assert!(rec.ok(), "{rec:?}");
         assert!(rec.exact_rounds <= rec.bound_rounds.unwrap());
@@ -483,11 +248,7 @@ mod tests {
 
     #[test]
     fn stochastic_maxima_dominated_by_exact_worst_case() {
-        let sc = scenario(
-            TopologySpec::Star,
-            4,
-            AlgorithmSpec::SdrAgreement { domain: 2 },
-        );
+        let sc = scenario(TopologySpec::Star, 4, families::sdr_agreement(2));
         let opts = ScenarioExploreOptions::default();
         let rec = explore_scenario(&sc, &opts).unwrap();
         let stoch = stochastic_max(&sc, &opts).unwrap();
@@ -499,14 +260,16 @@ mod tests {
 
     #[test]
     fn unsupported_families_are_skipped() {
-        let sc = scenario(TopologySpec::Ring, 4, AlgorithmSpec::CfgUnison);
+        let sc = scenario(TopologySpec::Ring, 4, families::cfg_unison());
         assert!(explore_scenario(&sc, &ScenarioExploreOptions::default()).is_none());
         assert!(stochastic_max(&sc, &ScenarioExploreOptions::default()).is_none());
+        let sc = scenario(TopologySpec::Ring, 4, AlgorithmSpec::plain("unregistered"));
+        assert!(explore_scenario(&sc, &ScenarioExploreOptions::default()).is_none());
     }
 
     #[test]
     fn state_space_limit_reports_an_error_row() {
-        let sc = scenario(TopologySpec::Ring, 5, AlgorithmSpec::UnisonSdr);
+        let sc = scenario(TopologySpec::Ring, 5, families::unison_sdr());
         let opts = ScenarioExploreOptions {
             explore: ExploreOptions {
                 max_states: 10,

@@ -24,18 +24,25 @@
 //!   through any [`Observer`](ssr_runtime::Observer)) via
 //!   [`Daemon::Script`](ssr_runtime::Daemon).
 //!
-//! States are deduplicated through the [`ExploreState`] canonical
-//! encoding (the `Algorithm::State` bound is deliberately not `Hash`),
-//! which also quotients away provably dead variables such as SDR's
-//! distance under status `C`. The frontier expands in parallel
-//! ([`ExploreOptions::threads`]) with a deterministic sequential
-//! merge, so results are **byte-identical for any thread count** —
-//! the same contract as the `ssr-campaign` engine.
+//! The generic engine lives in [`ssr_runtime::exhaustive`] (so that
+//! algorithm *families* can expose exploration behind the object-safe
+//! [`ExploreFamily`](ssr_runtime::family::ExploreFamily) hook without
+//! depending on this crate); everything there is re-exported here
+//! under the historical paths. States are deduplicated through the
+//! [`ExploreState`] canonical encoding (the `Algorithm::State` bound
+//! is deliberately not `Hash`), which also quotients away provably
+//! dead variables such as SDR's distance under status `C`. The
+//! frontier expands in parallel ([`ExploreOptions::threads`]) with a
+//! deterministic sequential merge, so results are **byte-identical
+//! for any thread count** — the same contract as the `ssr-campaign`
+//! engine.
 //!
 //! [`campaign::explore_scenario`] surfaces all of this through
-//! declarative `ssr-campaign` scenarios (that is how experiment E13
-//! compares exact worst cases against the closed-form §5/§6 bounds and
-//! against stochastic campaign maxima).
+//! declarative `ssr-campaign` scenarios, selecting families through
+//! the same string-addressable registry as the stochastic runner
+//! (that is how experiment E13 compares exact worst cases against the
+//! closed-form §5/§6 bounds and against stochastic campaign maxima —
+//! for the built-in families *and* any family you register yourself).
 //!
 //! # Examples
 //!
@@ -76,49 +83,11 @@
 //! ```
 
 pub mod campaign;
-mod encode;
-mod engine;
-mod witness;
 
-#[cfg(test)]
-pub(crate) mod testutil {
-    use ssr_graph::{Graph, NodeId};
-    use ssr_runtime::{Algorithm, RuleId, RuleMask, StateView};
-
-    /// Flood of `true` along edges — the shared unit-test algorithm:
-    /// one rule, monotone, terminates, and its worst cases are easy to
-    /// derive by hand.
-    pub struct Flood;
-
-    impl Algorithm for Flood {
-        type State = bool;
-        fn rule_count(&self) -> usize {
-            1
-        }
-        fn rule_name(&self, _: RuleId) -> &'static str {
-            "flood"
-        }
-        fn enabled_mask<V: StateView<bool>>(&self, u: NodeId, view: &V) -> RuleMask {
-            let infected = view.graph().neighbors(u).iter().any(|&v| *view.state(v));
-            RuleMask::from_bool(!*view.state(u) && infected)
-        }
-        fn apply<V: StateView<bool>>(&self, _: NodeId, _: &V, _: RuleId) -> bool {
-            true
-        }
-    }
-
-    /// The flood's legitimate set: everyone infected.
-    pub fn all_true(_: &Graph, st: &[bool]) -> bool {
-        st.iter().all(|&b| b)
-    }
-}
-
-pub use encode::ExploreState;
-pub use engine::{
-    explore, ClosureViolation, DaemonClass, Exploration, ExploreError, ExploreOptions, WorstCase,
-    MAX_ENABLED, MAX_NODES,
+pub use ssr_runtime::exhaustive::{
+    explore, ClosureViolation, DaemonClass, Exploration, ExploreError, ExploreOptions,
+    ExploreState, Witness, WorstCase, MAX_ENABLED, MAX_NODES,
 };
-pub use witness::Witness;
 
 use ssr_campaign::TopologySpec;
 use ssr_graph::Graph;

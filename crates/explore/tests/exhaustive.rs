@@ -11,7 +11,7 @@
 //! 3. parallel exploration is byte-identical to sequential.
 
 use proptest::prelude::*;
-use ssr_campaign::{AlgorithmSpec, InitPlan, PresetSpec, Scenario, TopologySpec};
+use ssr_campaign::{families, AlgorithmSpec, InitPlan, PresetSpec, Scenario, TopologySpec};
 use ssr_explore::campaign::{explore_scenario, stochastic_max, ScenarioExploreOptions};
 use ssr_explore::{explore, ExploreOptions};
 use ssr_runtime::{Daemon, Execution, TerminationReason};
@@ -28,11 +28,9 @@ fn tiny_topology(idx: u8) -> TopologySpec {
 
 fn tiny_algorithm(idx: u8) -> AlgorithmSpec {
     match idx % 3 {
-        0 => AlgorithmSpec::SdrAgreement { domain: 2 },
-        1 => AlgorithmSpec::UnisonSdr,
-        _ => AlgorithmSpec::FgaSdr {
-            preset: PresetSpec::Domination,
-        },
+        0 => families::sdr_agreement(2),
+        1 => families::unison_sdr(),
+        _ => families::fga_sdr(PresetSpec::Domination),
     }
 }
 

@@ -1,0 +1,91 @@
+//! Canonical state encoding: the bridge between the runtime's
+//! `Algorithm::State` bound (`Clone + PartialEq` — deliberately *not*
+//! `Hash`) and the explorer's need to deduplicate configurations.
+//!
+//! [`ExploreState`] turns one per-process state into a canonical
+//! sequence of `u64` words; a configuration's key is the concatenation
+//! of its nodes' words (node order is the canonical order). Two states
+//! must encode identically **iff they are behaviorally equivalent**:
+//! the encoding is allowed to *quotient away* dead variables. This
+//! module implements the trait for the primitive state types (clocks,
+//! counters, toy inputs, flags); richer state types implement it in
+//! their home crates — `ssr-core` quotients SDR's distance under
+//! status `C`, `ssr-alliance` packs the FGA record, `ssr-baselines`
+//! covers the mono-reset product state.
+
+/// A per-process state with a canonical `u64`-word encoding.
+///
+/// Contract: for states `a`, `b` of the same type, the encodings are
+/// equal **iff** `a` and `b` are behaviorally equivalent — same
+/// enabled rules and same successors (after canonicalization) in every
+/// context. Plain `PartialEq` equality must imply encoding equality;
+/// the converse may be relaxed only by quotienting provably dead
+/// variables (see the `ssr-core` implementation for SDR's distance).
+///
+/// # Examples
+///
+/// ```
+/// use ssr_runtime::exhaustive::ExploreState;
+///
+/// let mut a = Vec::new();
+/// 7u32.encode(&mut a);
+/// assert_eq!(a, vec![7]);
+/// ```
+pub trait ExploreState {
+    /// Appends this state's canonical words to `out`.
+    ///
+    /// Every state of a given type must append the **same number** of
+    /// words, so configuration keys stay aligned.
+    fn encode(&self, out: &mut Vec<u64>);
+}
+
+macro_rules! impl_explore_state_prim {
+    ($($t:ty),+) => {
+        $(impl ExploreState for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u64>) {
+                out.push(*self as u64);
+            }
+        })+
+    };
+}
+
+impl_explore_state_prim!(u8, u16, u32, u64, bool);
+
+/// Encodes a whole configuration (one state per node, in node order)
+/// into a boxed key, reusing `scratch` for the intermediate buffer.
+pub(crate) fn encode_config<S: ExploreState>(config: &[S], scratch: &mut Vec<u64>) -> Box<[u64]> {
+    scratch.clear();
+    for s in config {
+        s.encode(scratch);
+    }
+    scratch.as_slice().into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words<S: ExploreState>(s: &S) -> Vec<u64> {
+        let mut out = Vec::new();
+        s.encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives_encode_one_word() {
+        assert_eq!(words(&3u8), vec![3]);
+        assert_eq!(words(&3u64), vec![3]);
+        assert_eq!(words(&true), vec![1]);
+        assert_eq!(words(&false), vec![0]);
+    }
+
+    #[test]
+    fn encode_config_is_order_sensitive() {
+        let mut scratch = Vec::new();
+        let k1 = encode_config(&[1u64, 2], &mut scratch);
+        let k2 = encode_config(&[2u64, 1], &mut scratch);
+        assert_ne!(k1, k2);
+        assert_eq!(k1.len(), 2);
+    }
+}

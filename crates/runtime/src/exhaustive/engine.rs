@@ -35,19 +35,19 @@
 //!   neutralization bookkeeping the simulator performs).
 //! * **Witnesses**: the maximizing schedules are extracted as
 //!   [`Witness`] traces that drive back through the ordinary
-//!   [`Execution`](ssr_runtime::Execution) engine via
-//!   [`Daemon::Script`](ssr_runtime::Daemon), step for step.
+//!   [`Execution`](crate::Execution) engine via
+//!   [`Daemon::Script`](crate::Daemon), step for step.
 
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::{Algorithm, ConfigView};
 use ssr_graph::{Graph, NodeId};
-use ssr_runtime::{Algorithm, ConfigView};
 
-use crate::encode::{encode_config, ExploreState};
-use crate::witness::Witness;
+use super::encode::{encode_config, ExploreState};
+use super::witness::Witness;
 
 /// Which daemon's choices the explorer enumerates at each step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -310,25 +310,32 @@ pub const MAX_ENABLED: usize = 12;
 /// # Examples
 ///
 /// ```
-/// use ssr_core::{toys::Agreement, Sdr};
-/// use ssr_explore::{explore, ExploreOptions};
 /// use ssr_graph::generators;
+/// use ssr_runtime::exhaustive::{explore, ExploreOptions};
+/// use ssr_runtime::{Algorithm, NodeId, RuleId, RuleMask, StateView};
 ///
-/// let g = generators::path(3);
-/// let sdr = Sdr::new(Agreement::new(2));
-/// let legit = Sdr::new(Agreement::new(2));
-/// let inits = vec![sdr.arbitrary_config(&g, 7)];
-/// let ex = explore(
-///     &g,
-///     &sdr,
-///     &inits,
-///     |gr, st| legit.is_normal_config(gr, st),
-///     &ExploreOptions::default(),
-/// )
-/// .unwrap();
+/// /// Toy flood: a node with a `true` neighbor becomes `true`.
+/// struct Flood;
+/// impl Algorithm for Flood {
+///     type State = bool;
+///     fn rule_count(&self) -> usize { 1 }
+///     fn rule_name(&self, _: RuleId) -> &'static str { "flood" }
+///     fn enabled_mask<V: StateView<bool>>(&self, u: NodeId, view: &V) -> RuleMask {
+///         let infected = view.graph().neighbors(u).iter().any(|&v| *view.state(v));
+///         RuleMask::from_bool(!*view.state(u) && infected)
+///     }
+///     fn apply<V: StateView<bool>>(&self, _: NodeId, _: &V, _: RuleId) -> bool { true }
+/// }
+///
+/// let g = generators::path(4);
+/// let mut init = vec![false; 4];
+/// init[0] = true;
+/// let all_true = |_: &_, st: &[bool]| st.iter().all(|&b| b);
+/// let ex = explore(&g, &Flood, &[init], all_true, &ExploreOptions::default()).unwrap();
 /// assert!(ex.verified());
-/// let worst = ex.worst.unwrap();
-/// assert!(worst.rounds <= 3 * 3, "Corollary 5 holds exactly");
+/// // Only one process is ever enabled on the line, so every daemon
+/// // agrees: exactly n-1 moves, steps, and rounds.
+/// assert_eq!(ex.worst.unwrap().moves, 3);
 /// ```
 pub fn explore<A, P>(
     graph: &Graph,
@@ -932,8 +939,8 @@ fn rounds_dp<S>(space: &Space<S>, roots: &[u64], memo: &mut HashMap<u64, (u64, u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{all_true, Flood};
-    use ssr_runtime::{RuleId, RuleMask, StateView};
+    use crate::exhaustive::testutil::{all_true, Flood};
+    use crate::{RuleId, RuleMask, StateView};
 
     #[test]
     fn flood_path_exact_worst_case() {

@@ -5,7 +5,7 @@
 //! the per-step activation sets — plus the exact moves/steps/rounds
 //! the explorer accounted for it. [`Witness::replay`] drives the trace
 //! back through [`Execution`] with [`Daemon::Script`], so any
-//! [`Observer`](ssr_runtime::Observer) can watch the worst-case run,
+//! [`Observer`](crate::Observer) can watch the worst-case run,
 //! and the resulting [`RunOutcome`] must reproduce the explorer's
 //! numbers byte for byte (that cross-check is pinned by the property
 //! tests: the simulator's round accounting and the explorer's
@@ -13,8 +13,8 @@
 
 use std::sync::Arc;
 
+use crate::{Algorithm, Daemon, Execution, Observer, RunOutcome};
 use ssr_graph::{Graph, NodeId};
-use ssr_runtime::{Algorithm, Daemon, Execution, Observer, RunOutcome};
 
 /// A replayable schedule achieving an exact worst case.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl Witness {
         A: Algorithm,
         P: FnMut(&Graph, &[A::State]) -> bool,
     {
-        self.replay_with(graph, algo, init, legit, ssr_runtime::NoObserver)
+        self.replay_with(graph, algo, init, legit, crate::NoObserver)
     }
 
     /// Like [`Witness::replay`], with a probe attached to the run.
@@ -89,9 +89,9 @@ impl Witness {
 
 #[cfg(test)]
 mod tests {
-    use crate::engine::{explore, ExploreOptions};
-    use crate::testutil::{all_true, Flood};
-    use ssr_runtime::TerminationReason;
+    use crate::exhaustive::testutil::{all_true, Flood};
+    use crate::exhaustive::{explore, ExploreOptions};
+    use crate::TerminationReason;
 
     #[test]
     fn witness_replays_to_its_own_numbers() {

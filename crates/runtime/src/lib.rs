@@ -70,6 +70,8 @@
 mod algorithm;
 mod daemon;
 pub mod exec;
+pub mod exhaustive;
+pub mod family;
 pub mod faults;
 pub mod report;
 pub mod rng;
@@ -78,6 +80,10 @@ mod simulator;
 pub use algorithm::{Algorithm, ConfigView, MapView, RuleId, RuleMask, StateView};
 pub use daemon::Daemon;
 pub use exec::{Execution, NoObserver, NoPredicate, Observer, RunReport};
+pub use family::{
+    AlgorithmSpec, Amount, Bounds, ExploreFamily, Family, FamilyProbe, FamilyRegistry,
+    FamilyRunOutcome, InitPlan, RunSeeds, Verdict,
+};
 pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome, TerminationReason};
 
 // Re-export the graph handle: every API in this crate speaks `NodeId`.

@@ -39,7 +39,10 @@
 //! assert!(spec::safety_holds(&g, &clocks, check.input().period()));
 //! ```
 
+pub mod family;
 pub mod spec;
 mod unison;
+pub mod workloads;
 
+pub use family::{UnisonFamily, UnisonSdrFamily};
 pub use unison::{unison_sdr, PeriodError, Unison, UnisonSdr, RULE_U};

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example campaign`
 
-use ssr::campaign::{engine, output, stats, AlgorithmSpec, Campaign, TopologySpec};
+use ssr::campaign::{engine, families, output, stats, Campaign, TopologySpec};
 use ssr::runtime::report::Table;
 use ssr::runtime::{Daemon, Observer, Simulator, StepOutcome};
 use ssr::unison::{unison_sdr, Unison, UnisonSdr};
@@ -53,7 +53,7 @@ fn main() {
             TopologySpec::Gnp { per_mille: 300 },
         ])
         .sizes(vec![16, 32])
-        .algorithms(vec![AlgorithmSpec::UnisonSdr])
+        .algorithms(vec![families::unison_sdr()])
         .daemons(vec![
             Daemon::Synchronous,
             Daemon::Central,
@@ -132,7 +132,7 @@ fn main() {
     let probe_campaign = Campaign::new("contention")
         .topologies(vec![TopologySpec::Hypercube, TopologySpec::Lollipop])
         .sizes(vec![16])
-        .algorithms(vec![AlgorithmSpec::UnisonSdr])
+        .algorithms(vec![families::unison_sdr()])
         .daemons(vec![
             Daemon::Synchronous,
             Daemon::Central,

@@ -11,12 +11,12 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`graph`] | `ssr-graph` | communication graphs, generators, metrics |
-//! | [`runtime`] | `ssr-runtime` | composite-atomicity simulator, daemons, rounds/moves |
+//! | [`runtime`] | `ssr-runtime` | composite-atomicity simulator, daemons, rounds/moves, the open algorithm-family registry (`runtime::family`), exhaustive engine (`runtime::exhaustive`) |
 //! | [`core`] | `ssr-core` | Algorithm SDR, `ResetInput`, composition, analysis |
 //! | [`unison`] | `ssr-unison` | Algorithm U, `U ∘ SDR`, unison spec checkers |
 //! | [`alliance`] | `ssr-alliance` | Algorithm FGA, `FGA ∘ SDR`, presets, verifiers |
 //! | [`baselines`] | `ssr-baselines` | CFG unison, mono-initiator reset |
-//! | [`campaign`] | `ssr-campaign` | scenario campaigns, parallel batch engine, JSONL/CSV results |
+//! | [`campaign`] | `ssr-campaign` | scenario campaigns, parallel batch engine, standard family registry (`campaign::families`), JSONL/CSV results |
 //! | [`explore`] | `ssr-explore` | exhaustive schedule-space explorer, exact worst-case bounds, witness traces |
 //!
 //! # Quickstart

@@ -1,0 +1,123 @@
+//! Cross-crate guard rails for the family registry: every registered
+//! composable family must satisfy the §3.5 requirements on the tiny
+//! suite, and every registered label must round-trip through the
+//! string-addressable `AlgorithmSpec` handle.
+//!
+//! A mis-registered family — wrong reset state, a `P_ICorrect` that
+//! all-reset neighborhoods violate, a label that does not parse back
+//! to itself — fails loudly here, before any campaign runs it.
+
+use proptest::prelude::*;
+use ssr::campaign::families;
+use ssr::explore::tiny_suite;
+use ssr::runtime::family::AlgorithmSpec;
+
+/// Registry keys whose families are SDR compositions or gated
+/// standalone inputs — these MUST expose a requirements check; if one
+/// stops doing so, the registration is broken.
+const COMPOSABLE_KEYS: [&str; 5] = ["sdr-agreement", "unison-sdr", "unison", "fga-sdr", "fga"];
+
+#[test]
+fn every_registered_composable_family_satisfies_the_requirements() {
+    let registry = families::default_registry();
+    let mut checked = 0usize;
+    for label in registry.labels() {
+        let family = registry
+            .resolve_label(&label)
+            .unwrap_or_else(|| panic!("registered label {label:?} must resolve"));
+        for (topo, graph) in tiny_suite(6) {
+            match family.requirements(&graph) {
+                None => {}
+                Some(result) => {
+                    checked += 1;
+                    result.unwrap_or_else(|err| {
+                        panic!("family {label:?} violates §3.5 on {topo}: {err}")
+                    });
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "at least one composable family was checked");
+}
+
+#[test]
+fn composable_families_expose_their_requirements_check() {
+    let registry = families::default_registry();
+    let graph = ssr::graph::generators::ring(6);
+    for label in registry.labels() {
+        let spec: AlgorithmSpec = label.parse().unwrap();
+        let family = registry.resolve(&spec).unwrap();
+        if COMPOSABLE_KEYS.contains(&spec.family.as_str()) {
+            assert!(
+                family.requirements(&graph).is_some(),
+                "{label:?} is a composable family but exposes no requirements check \
+                 — mis-registered?"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_label_round_trips_and_resolves_to_its_own_id() {
+    let registry = families::default_registry();
+    let labels = registry.labels();
+    assert!(!labels.is_empty());
+    for label in labels {
+        let spec: AlgorithmSpec = label.parse().unwrap();
+        assert_eq!(spec.to_string(), label, "Display ∘ FromStr on {label:?}");
+        assert_eq!(spec.label(), label);
+        let family = registry.resolve(&spec).unwrap();
+        assert_eq!(family.id(), label, "registry id agrees with label");
+        assert_eq!(family.label(), label);
+    }
+}
+
+/// Deterministic pseudo-random string from a pool, keyed by `seed`.
+fn gen_string(pool: &[char], len: usize, seed: &mut u64) -> String {
+    (0..len)
+        .map(|_| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            pool[(*seed >> 33) as usize % pool.len()]
+        })
+        .collect()
+}
+
+proptest! {
+    /// Parsing is a retraction: for ANY string over the label
+    /// alphabet, parsing the rendered spec reproduces the spec
+    /// (labels are a fixed point of `parse ∘ to_string`).
+    #[test]
+    fn parse_render_is_idempotent_on_arbitrary_strings(seed in 0u64..1_000_000, len in 0usize..24) {
+        let pool: Vec<char> = "abcxyz019:(),.-".chars().collect();
+        let mut state = seed;
+        let s = gen_string(&pool, len, &mut state);
+        let spec: AlgorithmSpec = s.parse().unwrap();
+        let rendered = spec.to_string();
+        let reparsed: AlgorithmSpec = rendered.parse().unwrap();
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Constructor round-trips: any well-formed family/params pair
+    /// renders to a label that parses back to the same handle (colon
+    /// params must not contain ':' — the split is at the first colon —
+    /// and paren params must be paren-free, matching every real
+    /// label).
+    #[test]
+    fn constructed_specs_round_trip(seed in 0u64..1_000_000, len in 1usize..10, style in 0u8..3) {
+        let name_pool: Vec<char> = "abcdeksr-019".chars().collect();
+        let colon_pool: Vec<char> = "abc019,()-".chars().collect();
+        let paren_pool: Vec<char> = "abc019,-".chars().collect();
+        let mut state = seed;
+        let family = format!("f{}", gen_string(&name_pool, len, &mut state));
+        let spec = match style {
+            0 => AlgorithmSpec::plain(&family),
+            1 => AlgorithmSpec::colon(&family, gen_string(&colon_pool, len, &mut state)),
+            _ => AlgorithmSpec::paren(&family, gen_string(&paren_pool, len, &mut state)),
+        };
+        let reparsed: AlgorithmSpec = spec.label().parse().unwrap();
+        prop_assert_eq!(reparsed, spec);
+    }
+}
