@@ -1,0 +1,139 @@
+//! Columnar layout for [`FgaState`] (see `ssr_runtime::soa`).
+//!
+//! FGA's four shared variables transpose into three flat arrays: a
+//! packed flag byte (`col`, `canQ`, and the sign structure of `scr`
+//! all fit in two bits plus two), kept split here as one byte of flags
+//! plus the raw `scr` byte for clarity, and a `u32` pointer array with
+//! `u32::MAX` standing in for `⊥` — 6 bytes per node against the
+//! 12-byte padded row.
+
+use ssr_graph::NodeId;
+use ssr_runtime::StateColumns;
+
+use crate::fga::FgaState;
+
+const FLAG_COL: u8 = 1;
+const FLAG_CAN_Q: u8 = 2;
+const PTR_BOT: u32 = u32::MAX;
+
+/// Columnar [`FgaState`]: packed boolean flags, scores, and approval
+/// pointers in parallel arrays.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FgaColumns {
+    flags: Vec<u8>,
+    scrs: Vec<i8>,
+    ptrs: Vec<u32>,
+}
+
+impl FgaColumns {
+    /// The flag bytes: bit 0 is `col_u`, bit 1 is `canQ_u`.
+    pub fn flags(&self) -> &[u8] {
+        &self.flags
+    }
+
+    /// The scores `scr_u ∈ {−1, 0, 1}`.
+    pub fn scrs(&self) -> &[i8] {
+        &self.scrs
+    }
+
+    /// The approval pointers; `u32::MAX` encodes `⊥`.
+    pub fn ptrs(&self) -> &[u32] {
+        &self.ptrs
+    }
+
+    /// Number of alliance members (`col_u` set) — a one-pass census
+    /// over the flag column.
+    pub fn member_count(&self) -> usize {
+        self.flags.iter().filter(|&&f| f & FLAG_COL != 0).count()
+    }
+}
+
+impl StateColumns for FgaColumns {
+    type State = FgaState;
+
+    fn clear(&mut self) {
+        self.flags.clear();
+        self.scrs.clear();
+        self.ptrs.clear();
+    }
+
+    fn push(&mut self, state: &FgaState) {
+        let mut flags = 0u8;
+        if state.col {
+            flags |= FLAG_COL;
+        }
+        if state.can_q {
+            flags |= FLAG_CAN_Q;
+        }
+        self.flags.push(flags);
+        self.scrs.push(state.scr);
+        self.ptrs.push(state.ptr.map_or(PTR_BOT, |v| v.0));
+    }
+
+    fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    fn get(&self, i: usize) -> FgaState {
+        FgaState {
+            col: self.flags[i] & FLAG_COL != 0,
+            scr: self.scrs[i],
+            can_q: self.flags[i] & FLAG_CAN_Q != 0,
+            ptr: match self.ptrs[i] {
+                PTR_BOT => None,
+                v => Some(NodeId(v)),
+            },
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.flags.capacity()
+            + self.scrs.capacity()
+            + self.ptrs.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FgaState> {
+        vec![
+            FgaState::reset(),
+            FgaState {
+                col: false,
+                scr: -1,
+                can_q: false,
+                ptr: Some(NodeId(3)),
+            },
+            FgaState {
+                col: true,
+                scr: 0,
+                can_q: false,
+                ptr: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn fga_columns_round_trip() {
+        let states = sample();
+        let cols = FgaColumns::from_states(&states);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.to_states(), states);
+        assert_eq!(cols.flags(), &[FLAG_COL | FLAG_CAN_Q, 0, FLAG_COL]);
+        assert_eq!(cols.scrs(), &[1, -1, 0]);
+        assert_eq!(cols.ptrs(), &[u32::MAX, 3, u32::MAX]);
+        assert_eq!(cols.member_count(), 2);
+    }
+
+    #[test]
+    fn fga_columns_clear_and_reuse() {
+        let mut cols = FgaColumns::from_states(&sample());
+        cols.clear();
+        assert!(cols.is_empty());
+        cols.push(&FgaState::reset());
+        assert_eq!(cols.get(0), FgaState::reset());
+        assert!(cols.heap_bytes() > 0);
+    }
+}

@@ -9,8 +9,8 @@ use ssr_graph::Graph;
 use ssr_runtime::exhaustive::ExploreOptions;
 use ssr_runtime::family::{
     explore_sample_seeds, explore_with_replay, stochastic_max_runs, AlgorithmSpec, Bounds,
-    ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan, ProbeBridge,
-    RunSeeds, StochasticMax, Verdict,
+    ExecBudget, ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan,
+    ProbeBridge, RunSeeds, StochasticMax, Verdict,
 };
 use ssr_runtime::{Algorithm, ConfigView, Daemon, Simulator};
 
@@ -112,7 +112,7 @@ impl Family for FgaSdrFamily {
         init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let fga = self
@@ -129,7 +129,8 @@ impl Family for FgaSdrFamily {
         let mut sim = Simulator::new(graph, algo, init_cfg, daemon.clone(), seeds.sim);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut verdict_probe)
             .observe(&mut bridge)
             .run();
@@ -273,7 +274,7 @@ impl Family for FgaStandaloneFamily {
         _init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let fga = self
@@ -288,7 +289,8 @@ impl Family for FgaStandaloneFamily {
         let mut sim = Simulator::new(graph, algo, init_cfg, daemon.clone(), seeds.sim);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut verdict_probe)
             .observe(&mut bridge)
             .run();
@@ -339,7 +341,7 @@ mod tests {
                 &InitPlan::Arbitrary,
                 &Daemon::RandomSubset { p: 0.5 },
                 seeds(),
-                2_000_000,
+                2_000_000.into(),
                 None,
             ),
             FgaStandaloneFamily::new(PresetSpec::Domination).run(
@@ -347,7 +349,7 @@ mod tests {
                 &InitPlan::Arbitrary,
                 &Daemon::RandomSubset { p: 0.5 },
                 seeds(),
-                2_000_000,
+                2_000_000.into(),
                 None,
             ),
         ] {

@@ -1,0 +1,134 @@
+//! Columnar layout for [`MonoState`] (see `ssr_runtime::soa`).
+//!
+//! The mono-initiator product state transposes into one phase byte per
+//! node plus whatever column set the input algorithm provides —
+//! structurally the same composition [`MonoColumns`] ≈
+//! `ssr_core::columns::ComposedColumns`, but over the baseline's wave
+//! phases instead of SDR statuses.
+
+use ssr_runtime::StateColumns;
+
+use crate::mono_reset::{MonoState, Phase};
+
+const PHASE_IDLE: u8 = 0;
+const PHASE_REQ: u8 = 1;
+const PHASE_RB: u8 = 2;
+const PHASE_RF: u8 = 3;
+
+fn encode_phase(phase: Phase) -> u8 {
+    match phase {
+        Phase::Idle => PHASE_IDLE,
+        Phase::Req => PHASE_REQ,
+        Phase::RB => PHASE_RB,
+        Phase::RF => PHASE_RF,
+    }
+}
+
+fn decode_phase(byte: u8) -> Phase {
+    match byte {
+        PHASE_IDLE => Phase::Idle,
+        PHASE_REQ => Phase::Req,
+        PHASE_RB => Phase::RB,
+        PHASE_RF => Phase::RF,
+        _ => unreachable!("MonoColumns only stores encoded phases"),
+    }
+}
+
+/// Columnar [`MonoState`]: one phase byte per node plus the input
+/// algorithm's own columns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MonoColumns<C> {
+    phases: Vec<u8>,
+    inner: C,
+}
+
+impl<C> MonoColumns<C> {
+    /// The phase bytes (`0 = Idle`, `1 = Req`, `2 = RB`, `3 = RF`).
+    pub fn phases(&self) -> &[u8] {
+        &self.phases
+    }
+
+    /// The input-algorithm component columns.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: StateColumns> StateColumns for MonoColumns<C> {
+    type State = MonoState<C::State>;
+
+    fn clear(&mut self) {
+        self.phases.clear();
+        self.inner.clear();
+    }
+
+    fn push(&mut self, state: &MonoState<C::State>) {
+        self.phases.push(encode_phase(state.phase));
+        self.inner.push(&state.inner);
+    }
+
+    fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    fn get(&self, i: usize) -> MonoState<C::State> {
+        MonoState {
+            phase: decode_phase(self.phases[i]),
+            inner: self.inner.get(i),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.phases.capacity() + self.inner.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_runtime::ScalarColumns;
+
+    #[test]
+    fn mono_columns_round_trip() {
+        let states: Vec<MonoState<u64>> = vec![
+            MonoState {
+                phase: Phase::Idle,
+                inner: 4,
+            },
+            MonoState {
+                phase: Phase::Req,
+                inner: 5,
+            },
+            MonoState {
+                phase: Phase::RB,
+                inner: 6,
+            },
+            MonoState {
+                phase: Phase::RF,
+                inner: 7,
+            },
+        ];
+        let cols: MonoColumns<ScalarColumns<u64>> = MonoColumns::from_states(&states);
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols.to_states(), states);
+        assert_eq!(cols.phases(), &[0, 1, 2, 3]);
+        assert_eq!(cols.inner().values(), &[4, 5, 6, 7]);
+        assert!(cols.heap_bytes() >= 4 + 4 * 8);
+    }
+
+    #[test]
+    fn mono_columns_clear_and_reuse() {
+        let mut cols: MonoColumns<ScalarColumns<u64>> = MonoColumns::default();
+        cols.push(&MonoState {
+            phase: Phase::RF,
+            inner: 9,
+        });
+        cols.clear();
+        assert!(cols.is_empty());
+        cols.push(&MonoState {
+            phase: Phase::Req,
+            inner: 1,
+        });
+        assert_eq!(cols.get(0).phase, Phase::Req);
+    }
+}

@@ -10,7 +10,8 @@
 
 use ssr_graph::{Graph, NodeId};
 use ssr_runtime::family::{
-    AlgorithmSpec, Family, FamilyProbe, FamilyRunOutcome, InitPlan, ProbeBridge, RunSeeds,
+    AlgorithmSpec, ExecBudget, Family, FamilyProbe, FamilyRunOutcome, InitPlan, ProbeBridge,
+    RunSeeds,
 };
 use ssr_runtime::rng::Xoshiro256StarStar;
 use ssr_runtime::{Daemon, Simulator};
@@ -51,7 +52,7 @@ impl Family for CfgUnisonFamily {
         init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let nn = graph.node_count() as u64;
@@ -76,7 +77,8 @@ impl Family for CfgUnisonFamily {
         let mut bridge = ProbeBridge::new(probe);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut bridge)
             .until(|gr, st| spec::safety_holds(gr, st, period))
             .run();
@@ -110,7 +112,7 @@ impl Family for MonoResetFamily {
         init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let nn = graph.node_count() as u64;
@@ -135,7 +137,8 @@ impl Family for MonoResetFamily {
         let mut bridge = ProbeBridge::new(probe);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut bridge)
             .until(|gr, st| check.is_normal_config(gr, st))
             .run();
@@ -167,7 +170,7 @@ mod tests {
             &InitPlan::Arbitrary,
             &Daemon::RandomSubset { p: 0.5 },
             seeds(),
-            2_000_000,
+            2_000_000.into(),
             None,
         );
         assert_eq!(out.verdict, Verdict::NoBound);
@@ -184,7 +187,7 @@ mod tests {
             },
             &Daemon::RandomSubset { p: 0.5 },
             seeds(),
-            2_000_000,
+            2_000_000.into(),
             None,
         );
         assert_eq!(out.verdict, Verdict::NoBound);

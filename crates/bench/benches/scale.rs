@@ -1,0 +1,56 @@
+//! Steps-per-second scaling of the staged pipeline with network size
+//! and intra-run thread count: `n ∈ {10³, 10⁴, 10⁵, 10⁶}` ring, SDR
+//! composition, synchronous daemon.
+//!
+//! Each measured routine drives a fixed number of steps from the same
+//! adversarial configuration, so samples are comparable across thread
+//! counts; the harness's per-bench budget keeps the 10⁶ points from
+//! dominating wall-clock time. The `scale` binary
+//! (`cargo run -p ssr-bench --bin scale --release`) runs the same
+//! sweep to convergence and writes `BENCH_SCALE.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssr_core::toys::Agreement;
+use ssr_core::Sdr;
+use ssr_graph::{generators, Graph};
+use ssr_runtime::{Daemon, Simulator, StepOutcome};
+
+fn run_steps(g: &Graph, threads: usize, steps: u64) -> u64 {
+    let algo = Sdr::new(Agreement::new(8));
+    let init = algo.arbitrary_config(g, 0x5CA1E);
+    let mut sim = Simulator::new(g, algo, init, Daemon::Synchronous, 11);
+    sim.set_intra_threads(threads);
+    for _ in 0..steps {
+        if let StepOutcome::Terminal = sim.step() {
+            break;
+        }
+    }
+    sim.stats().moves
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        // Fewer steps at the big sizes: one sample must fit the budget.
+        let steps = if n >= 1_000_000 {
+            3
+        } else if n >= 100_000 {
+            10
+        } else {
+            50
+        };
+        let g = generators::ring(n);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ring-{n}"), threads),
+                &threads,
+                |b, &threads| b.iter(|| run_steps(&g, threads, steps)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

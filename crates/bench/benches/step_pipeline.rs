@@ -1,0 +1,95 @@
+//! Wall-clock benches for the staged step pipeline itself: the
+//! select → apply → guard-refresh phases at different intra-run thread
+//! counts, and the cost of the optional conflict-partition diagnostic.
+//!
+//! The workload is the composed `Agreement ∘ SDR` family on a ring —
+//! small constant-degree neighborhoods, so the kernels (not the cache)
+//! dominate — under the synchronous daemon, which maximizes the
+//! per-step selection and therefore the work the apply/guard kernels
+//! can fan out. `main` additionally runs an explicit byte-identity
+//! tripwire: the parallel pipeline must reproduce the sequential run
+//! exactly, state for state and stat for stat.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ssr_core::toys::Agreement;
+use ssr_core::Sdr;
+use ssr_graph::{generators, Graph};
+use ssr_runtime::{Daemon, Simulator, StepOutcome};
+
+const N: usize = 20_000;
+const STEPS: u64 = 10;
+
+fn sim_for(g: &Graph, threads: usize) -> Simulator<'_, Sdr<Agreement>> {
+    let algo = Sdr::new(Agreement::new(8));
+    let init = algo.arbitrary_config(g, 0xA57);
+    let mut sim = Simulator::new(g, algo, init, Daemon::Synchronous, 9);
+    if threads > 1 {
+        sim.set_intra_threads(threads);
+    }
+    sim
+}
+
+fn run_steps(g: &Graph, threads: usize, conflict_stats: bool) -> (u64, Vec<u64>) {
+    let mut sim = sim_for(g, threads);
+    sim.set_conflict_stats(conflict_stats);
+    let mut classes = Vec::new();
+    for _ in 0..STEPS {
+        if let StepOutcome::Terminal = sim.step() {
+            break;
+        }
+        if let Some(c) = sim.last_conflict_classes() {
+            classes.push(u64::from(c));
+        }
+    }
+    (sim.stats().moves, classes)
+}
+
+fn bench_step_pipeline(c: &mut Criterion) {
+    let g = generators::ring(N);
+    let mut group = c.benchmark_group("step_pipeline");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_steps(&g, threads, false)),
+        );
+    }
+    group.bench_function(BenchmarkId::from_parameter("conflict-stats"), |b| {
+        b.iter(|| run_steps(&g, 1, true))
+    });
+    group.finish();
+}
+
+/// The determinism tripwire: at every thread count the pipeline must
+/// produce byte-identical configurations, stats, and daemon state.
+fn byte_identity_check() {
+    let g = generators::ring(2_500);
+    let run = |threads: usize| {
+        let mut sim = sim_for(&g, threads);
+        // Force the parallel dispatch even for sub-threshold phases so
+        // the check exercises the kernels, not the sequential fallback.
+        sim.set_par_threshold(0);
+        for _ in 0..40 {
+            if let StepOutcome::Terminal = sim.step() {
+                break;
+            }
+        }
+        (sim.states().to_vec(), sim.stats().clone())
+    };
+    let baseline = run(1);
+    for threads in [2, 4, 8] {
+        assert!(
+            run(threads) == baseline,
+            "parallel step pipeline diverged from sequential at {threads} threads"
+        );
+    }
+    println!("step_pipeline/byte-identity: threads 2/4/8 match sequential");
+}
+
+criterion_group!(benches, bench_step_pipeline);
+
+fn main() {
+    benches();
+    byte_identity_check();
+}

@@ -1,0 +1,219 @@
+//! Large-scale convergence driver for the staged step pipeline: runs
+//! the SDR composition to termination on rings and tori up to 10⁶
+//! nodes at several intra-run thread counts, verifies byte-identity
+//! across thread counts and convergence within the Cor. 5 bound, and
+//! writes throughput results to `BENCH_SCALE.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ssr-bench --bin scale --release                # full sweep
+//! cargo run -p ssr-bench --bin scale --release -- --smoke     # CI smoke (10⁵ ring)
+//! cargo run -p ssr-bench --bin scale --release -- --out PATH  # result path
+//! ```
+//!
+//! The workload is `Agreement ∘ SDR` from an adversarial
+//! configuration under the synchronous daemon (maximal per-step
+//! selections, so the apply/guard kernels see the largest possible
+//! fan-out). For every `(topology, n)` cell the run is repeated at
+//! each thread count and the final configuration and statistics must
+//! match the sequential run exactly — the process exits nonzero on
+//! any divergence or non-convergence.
+
+use std::time::Instant;
+
+use ssr_core::columns::ComposedColumns;
+use ssr_core::toys::Agreement;
+use ssr_core::Sdr;
+use ssr_graph::{generators, Graph};
+use ssr_runtime::{Daemon, ScalarColumns, Simulator, StateColumns, StepOutcome};
+
+/// One measured run.
+struct RunResult {
+    topology: &'static str,
+    n: usize,
+    threads: usize,
+    steps: u64,
+    moves: u64,
+    rounds: u64,
+    seconds: f64,
+    converged: bool,
+    conflict_classes_avg: f64,
+    soa_heap_bytes: usize,
+}
+
+fn build(topology: &str, n: usize) -> Graph {
+    match topology {
+        "ring" => generators::ring(n),
+        "torus" => {
+            let side = ((n as f64).sqrt().round() as usize).max(3);
+            generators::torus(side, side)
+        }
+        other => panic!("unknown topology {other:?}"),
+    }
+}
+
+/// Runs the composition to termination (or the Cor. 5 step bound under
+/// the synchronous daemon) and reports throughput plus diagnostics.
+type SdrAgreementState = ssr_core::Composed<u32>;
+
+fn run_cell(
+    g: &Graph,
+    topology: &'static str,
+    n: usize,
+    threads: usize,
+) -> (RunResult, Vec<SdrAgreementState>) {
+    let algo = Sdr::new(Agreement::new(8));
+    let init = algo.arbitrary_config(g, 0x5CA1E);
+    let mut sim = Simulator::new(g, algo, init, Daemon::Synchronous, 11);
+    sim.set_intra_threads(threads);
+    // Synchronous steps are rounds, so Cor. 5 bounds convergence.
+    let cap = 3 * g.node_count() as u64 + 16;
+    let started = Instant::now();
+    let mut converged = false;
+    for _ in 0..cap {
+        if let StepOutcome::Terminal = sim.step() {
+            converged = true;
+            break;
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    // Conflict-partition diagnostic on a short replay: how many
+    // greedy classes the per-step selections induce.
+    let algo = Sdr::new(Agreement::new(8));
+    let init = algo.arbitrary_config(g, 0x5CA1E);
+    let mut diag = Simulator::new(g, algo, init, Daemon::Synchronous, 11);
+    diag.set_conflict_stats(true);
+    let mut classes = Vec::new();
+    for _ in 0..10 {
+        if let StepOutcome::Terminal = diag.step() {
+            break;
+        }
+        if let Some(c) = diag.last_conflict_classes() {
+            classes.push(u64::from(c));
+        }
+    }
+    let conflict_classes_avg = if classes.is_empty() {
+        0.0
+    } else {
+        classes.iter().sum::<u64>() as f64 / classes.len() as f64
+    };
+    // SoA snapshot: flat columns of the final configuration.
+    let mut cols: ComposedColumns<ScalarColumns<u32>> = ComposedColumns::default();
+    sim.snapshot_columns(&mut cols);
+    assert_eq!(cols.len(), g.node_count());
+    let result = RunResult {
+        topology,
+        n,
+        threads,
+        steps: sim.stats().steps,
+        moves: sim.stats().moves,
+        rounds: sim.stats().completed_rounds,
+        seconds,
+        converged,
+        conflict_classes_avg,
+        soa_heap_bytes: cols.heap_bytes(),
+    };
+    // The full final configuration, compared exactly across thread
+    // counts.
+    let fingerprint = sim.states().to_vec();
+    (result, fingerprint)
+}
+
+fn json_escape_free(r: &RunResult) -> String {
+    format!(
+        "{{\"topology\":\"{}\",\"n\":{},\"threads\":{},\"steps\":{},\"moves\":{},\
+         \"rounds\":{},\"seconds\":{:.6},\"steps_per_sec\":{:.1},\
+         \"moves_per_sec\":{:.1},\"converged\":{},\
+         \"conflict_classes_avg\":{:.2},\"soa_heap_bytes\":{}}}",
+        r.topology,
+        r.n,
+        r.threads,
+        r.steps,
+        r.moves,
+        r.rounds,
+        r.seconds,
+        r.steps as f64 / r.seconds.max(1e-9),
+        r.moves as f64 / r.seconds.max(1e-9),
+        r.converged,
+        r.conflict_classes_avg,
+        r.soa_heap_bytes,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_SCALE.json".into());
+
+    let (cells, threads_axis): (Vec<(&str, usize)>, Vec<usize>) = if smoke {
+        (vec![("ring", 100_000)], vec![1, 2])
+    } else {
+        (
+            vec![
+                ("ring", 1_000),
+                ("ring", 10_000),
+                ("ring", 100_000),
+                ("ring", 1_000_000),
+                ("torus", 1_000),
+                ("torus", 10_000),
+                ("torus", 100_000),
+                ("torus", 1_000_000),
+            ],
+            vec![1, 2, 4, 8],
+        )
+    };
+
+    let mut lines = Vec::new();
+    let mut failures = 0usize;
+    for &(topology, n) in &cells {
+        let g = build(topology, n);
+        let mut baseline: Option<Vec<SdrAgreementState>> = None;
+        for &threads in &threads_axis {
+            let (r, fingerprint) = run_cell(&g, topology, n, threads);
+            println!(
+                "{:>6} n={:<9} threads={} steps={:<8} {:>10.0} steps/s {:>10.0} moves/s converged={} classes≈{:.1}",
+                topology,
+                n,
+                threads,
+                r.steps,
+                r.steps as f64 / r.seconds.max(1e-9),
+                r.moves as f64 / r.seconds.max(1e-9),
+                r.converged,
+                r.conflict_classes_avg,
+            );
+            if !r.converged {
+                eprintln!("FAIL: {topology} n={n} threads={threads} did not converge");
+                failures += 1;
+            }
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(base) => {
+                    if *base != fingerprint {
+                        eprintln!(
+                            "FAIL: {topology} n={n} threads={threads} diverged from sequential"
+                        );
+                        failures += 1;
+                    }
+                }
+            }
+            lines.push(json_escape_free(&r));
+        }
+    }
+
+    let doc = format!(
+        "{{\n  \"schema\": \"bench-scale-v1\",\n  \"smoke\": {smoke},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        lines.join(",\n    ")
+    );
+    std::fs::write(&out, &doc).expect("write BENCH_SCALE.json");
+    println!("wrote {out}");
+    if failures > 0 {
+        eprintln!("{failures} failure(s)");
+        std::process::exit(1);
+    }
+}

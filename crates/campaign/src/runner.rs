@@ -23,7 +23,7 @@
 //! on `Family::run` itself.
 
 use ssr_graph::{metrics, Graph};
-use ssr_runtime::family::{FamilyRegistry, FamilyRunOutcome, RunSeeds};
+use ssr_runtime::family::{ExecBudget, FamilyRegistry, FamilyRunOutcome, RunSeeds};
 use ssr_runtime::TerminationReason;
 
 use crate::families;
@@ -163,7 +163,7 @@ pub fn run_scenario_in(registry: &FamilyRegistry, sc: Scenario) -> ScenarioRecor
             sim: sim_seed,
             fault: fault_seed,
         },
-        sc.step_cap,
+        ExecBudget::steps(sc.step_cap).with_intra_threads(sc.intra_threads),
         None,
     );
     rec.apply(&out);
@@ -188,6 +188,7 @@ mod tests {
             trial: 0,
             seed: 0xFEED,
             step_cap: 2_000_000,
+            intra_threads: 1,
         }
     }
 

@@ -145,6 +145,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Step budget for the run.
     pub step_cap: u64,
+    /// Intra-run worker threads for the step pipeline (1 =
+    /// sequential). Byte-identical results at any value — the axis
+    /// exists for throughput sweeps, not semantics.
+    pub intra_threads: usize,
 }
 
 impl Scenario {
@@ -252,6 +256,7 @@ mod tests {
             trial: 0,
             seed: 42,
             step_cap: 1000,
+            intra_threads: 1,
         };
         let a: [u64; 4] = sc.seeds();
         let b: [u64; 4] = sc.seeds();

@@ -1,0 +1,212 @@
+//! Flat struct-of-arrays columns for SDR states (see
+//! `ssr_runtime::soa`).
+//!
+//! [`SdrColumns`] packs the status into one byte per node and keeps the
+//! reset distances in their own `u32` array — 5 bytes of column data
+//! per node instead of the 8-byte padded [`SdrState`] row, and each
+//! analysis pass (status census, distance histogram) streams exactly
+//! the array it reads. [`ComposedColumns`] transposes the product state
+//! `I ∘ SDR` into SDR columns plus whatever column set the input
+//! algorithm provides, composing layouts the same way [`Composed`]
+//! composes states.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_core::columns::SdrColumns;
+//! use ssr_core::{SdrState, Status};
+//! use ssr_runtime::StateColumns;
+//!
+//! let cols = SdrColumns::from_states(&[SdrState::clean(), SdrState::root()]);
+//! assert_eq!(cols.statuses(), &[0, 1]);
+//! assert_eq!(cols.get(1), SdrState::root());
+//! ```
+
+use ssr_runtime::StateColumns;
+
+use crate::state::{Composed, SdrState, Status};
+
+const STATUS_C: u8 = 0;
+const STATUS_RB: u8 = 1;
+const STATUS_RF: u8 = 2;
+
+fn encode_status(status: Status) -> u8 {
+    match status {
+        Status::C => STATUS_C,
+        Status::RB => STATUS_RB,
+        Status::RF => STATUS_RF,
+    }
+}
+
+fn decode_status(byte: u8) -> Status {
+    match byte {
+        STATUS_C => Status::C,
+        STATUS_RB => Status::RB,
+        STATUS_RF => Status::RF,
+        _ => unreachable!("SdrColumns only stores encoded statuses"),
+    }
+}
+
+/// Columnar [`SdrState`]: one status byte and one `u32` distance per
+/// node, in parallel arrays.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SdrColumns {
+    statuses: Vec<u8>,
+    dists: Vec<u32>,
+}
+
+impl SdrColumns {
+    /// The status bytes (`0 = C`, `1 = RB`, `2 = RF`), one per node.
+    pub fn statuses(&self) -> &[u8] {
+        &self.statuses
+    }
+
+    /// The reset distances, one per node (arbitrary where the status
+    /// is `C`, exactly as in the row form).
+    pub fn dists(&self) -> &[u32] {
+        &self.dists
+    }
+
+    /// Counts nodes with each status, in `(C, RB, RF)` order — the
+    /// canonical one-pass census over the status column.
+    pub fn status_census(&self) -> (usize, usize, usize) {
+        let mut counts = [0usize; 3];
+        for &b in &self.statuses {
+            counts[b as usize] += 1;
+        }
+        (counts[0], counts[1], counts[2])
+    }
+}
+
+impl StateColumns for SdrColumns {
+    type State = SdrState;
+
+    fn clear(&mut self) {
+        self.statuses.clear();
+        self.dists.clear();
+    }
+
+    fn push(&mut self, state: &SdrState) {
+        self.statuses.push(encode_status(state.status));
+        self.dists.push(state.dist);
+    }
+
+    fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    fn get(&self, i: usize) -> SdrState {
+        SdrState {
+            status: decode_status(self.statuses[i]),
+            dist: self.dists[i],
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.statuses.capacity() + self.dists.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Columnar product state `I ∘ SDR`: SDR columns next to the input
+/// algorithm's own column set, mirroring how [`Composed`] pairs the
+/// states.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComposedColumns<C> {
+    sdr: SdrColumns,
+    inner: C,
+}
+
+impl<C> ComposedColumns<C> {
+    /// The SDR component columns.
+    pub fn sdr(&self) -> &SdrColumns {
+        &self.sdr
+    }
+
+    /// The input-algorithm component columns.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: StateColumns> StateColumns for ComposedColumns<C> {
+    type State = Composed<C::State>;
+
+    fn clear(&mut self) {
+        self.sdr.clear();
+        self.inner.clear();
+    }
+
+    fn push(&mut self, state: &Composed<C::State>) {
+        self.sdr.push(&state.sdr);
+        self.inner.push(&state.inner);
+    }
+
+    fn len(&self) -> usize {
+        self.sdr.len()
+    }
+
+    fn get(&self, i: usize) -> Composed<C::State> {
+        Composed {
+            sdr: self.sdr.get(i),
+            inner: self.inner.get(i),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.sdr.heap_bytes() + self.inner.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_runtime::ScalarColumns;
+
+    fn sample() -> Vec<SdrState> {
+        vec![
+            SdrState::clean(),
+            SdrState::root(),
+            SdrState::new(Status::RF, 7),
+            SdrState::new(Status::RB, 3),
+        ]
+    }
+
+    #[test]
+    fn sdr_columns_round_trip() {
+        let states = sample();
+        let cols = SdrColumns::from_states(&states);
+        assert_eq!(cols.len(), states.len());
+        assert_eq!(cols.to_states(), states);
+        assert_eq!(cols.statuses(), &[0, 1, 2, 1]);
+        assert_eq!(cols.dists(), &[0, 0, 7, 3]);
+        assert_eq!(cols.status_census(), (1, 2, 1));
+        assert!(cols.heap_bytes() >= 4 + 4 * 4);
+    }
+
+    #[test]
+    fn sdr_columns_clear_and_reuse() {
+        let mut cols = SdrColumns::from_states(&sample());
+        cols.clear();
+        assert!(cols.is_empty());
+        cols.push(&SdrState::root());
+        assert_eq!(cols.get(0), SdrState::root());
+    }
+
+    #[test]
+    fn composed_columns_round_trip() {
+        let states: Vec<Composed<u64>> = vec![
+            Composed::clean(11),
+            Composed::new(SdrState::root(), 22),
+            Composed::new(SdrState::new(Status::RF, 2), 33),
+        ];
+        let cols: ComposedColumns<ScalarColumns<u64>> = ComposedColumns::from_states(&states);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.to_states(), states);
+        assert_eq!(cols.sdr().statuses(), &[0, 1, 2]);
+        assert_eq!(cols.inner().values(), &[11, 22, 33]);
+        assert_eq!(
+            cols.heap_bytes(),
+            cols.sdr().heap_bytes() + cols.inner().heap_bytes()
+        );
+    }
+}

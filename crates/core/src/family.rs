@@ -18,8 +18,8 @@ use ssr_graph::Graph;
 use ssr_runtime::exhaustive::{ExploreOptions, ExploreState};
 use ssr_runtime::family::{
     explore_sample_seeds, explore_with_replay, stochastic_max_runs, AlgorithmSpec, Bounds,
-    ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan, ProbeBridge,
-    RunSeeds, StochasticMax, Verdict,
+    ExecBudget, ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan,
+    ProbeBridge, RunSeeds, StochasticMax, Verdict,
 };
 use ssr_runtime::{Algorithm, Daemon, RunStats, Simulator};
 
@@ -158,7 +158,7 @@ where
         init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let nn = graph.node_count() as u64;
@@ -173,7 +173,8 @@ where
         let mut sim = Simulator::new(graph, sdr, init, daemon.clone(), seeds.sim);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut bridge)
             .until(|gr, st| check.is_normal_config(gr, st))
             .run();
@@ -322,7 +323,7 @@ mod tests {
             &InitPlan::Arbitrary,
             &Daemon::RandomSubset { p: 0.5 },
             seeds(),
-            2_000_000,
+            2_000_000.into(),
             None,
         );
         assert_eq!(out.verdict, Verdict::Pass, "{out:?}");
@@ -339,7 +340,7 @@ mod tests {
             &InitPlan::Normal,
             &Daemon::Central,
             seeds(),
-            100_000,
+            100_000.into(),
             None,
         );
         assert_eq!(out.rounds, 0, "γ_init is already normal");
@@ -383,6 +384,13 @@ mod tests {
     fn run_panics_without_instantiability_check() {
         let fam = composed("never", |_| None::<BoundedCounter>);
         let g = generators::path(2);
-        let _ = fam.run(&g, &InitPlan::Normal, &Daemon::Central, seeds(), 10, None);
+        let _ = fam.run(
+            &g,
+            &InitPlan::Normal,
+            &Daemon::Central,
+            seeds(),
+            10.into(),
+            None,
+        );
     }
 }

@@ -41,6 +41,7 @@
 //! ```
 
 mod analysis;
+pub mod columns;
 pub mod family;
 mod input;
 mod sdr;
@@ -53,6 +54,7 @@ pub use analysis::{
     alive_roots, dead_roots, max_branch_depth, reset_children, reset_parents, RuleKind,
     SegmentObserver, SegmentReport, SegmentTracker,
 };
+pub use columns::{ComposedColumns, SdrColumns};
 pub use family::{composed, ComposedFamily};
 pub use input::{ResetInput, Standalone};
 pub use sdr::{Sdr, RULE_C, RULE_R, RULE_RB, RULE_RF, SDR_RULE_COUNT};

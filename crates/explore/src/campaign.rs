@@ -233,6 +233,7 @@ mod tests {
             trial: 0,
             seed: 0xE13,
             step_cap: 1_000_000,
+            intra_threads: 1,
         }
     }
 

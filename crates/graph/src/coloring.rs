@@ -1,0 +1,298 @@
+//! Greedy coloring and neighborhood-conflict partitioning.
+//!
+//! In the locally shared memory model (§2.2) a guard reads only the
+//! closed neighborhood of its process, so two moves at **non-adjacent**
+//! processes commute: neither read set contains the other's write.
+//! Partitioning a step's selected set by adjacency therefore splits it
+//! into batches that could execute in place, in any order, without
+//! changing the step's outcome — the conflict-graph decomposition that
+//! the parallel apply phase in `ssr-runtime` verifies against and that
+//! the scale benches report as available intra-step parallelism.
+//!
+//! The partition is a greedy coloring of the *induced* subgraph on the
+//! selected nodes: first-fit in selection order, which uses at most
+//! `Δ_sel + 1` classes (`Δ_sel` = the maximum number of selected
+//! neighbors of any selected node). [`ConflictPartitioner`] keeps its
+//! scratch state across calls so the per-step cost is `O(Σ deg(u))`
+//! with no allocation after warm-up.
+
+use crate::bitset::Bitset;
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel: node not colored in the current partition.
+const UNCOLORED: u32 = u32::MAX;
+
+/// A whole-graph greedy coloring (first-fit in index order).
+///
+/// Adjacent nodes always receive distinct colors, and at most
+/// `Δ + 1` colors are used.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::{coloring, generators};
+///
+/// let g = generators::ring(6);
+/// let c = coloring::greedy_coloring(&g);
+/// assert!(c.num_colors <= 3); // Δ + 1 on a ring
+/// for (u, v) in g.edges() {
+///     assert_ne!(c.colors[u.index()], c.colors[v.index()]);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    /// Color of each node, indexed by node.
+    pub colors: Vec<u32>,
+    /// Number of distinct colors used.
+    pub num_colors: u32,
+}
+
+/// Colors every node of `g` greedily (first-fit in index order).
+pub fn greedy_coloring(g: &Graph) -> Coloring {
+    let mut p = ConflictPartitioner::new(g.node_count());
+    let all: Vec<NodeId> = g.nodes().collect();
+    let num_colors = p.partition(g, &all);
+    Coloring {
+        colors: all.iter().map(|&u| p.color_of(u)).collect(),
+        num_colors,
+    }
+}
+
+/// Reusable conflict-partition scratch state.
+///
+/// One call to [`ConflictPartitioner::partition`] colors a selected
+/// set against the edges of its induced subgraph; nodes of equal color
+/// are pairwise non-adjacent (a *conflict-free batch*).
+///
+/// # Examples
+///
+/// ```
+/// use ssr_graph::{coloring::ConflictPartitioner, generators, NodeId};
+///
+/// let g = generators::path(5);
+/// let mut p = ConflictPartitioner::new(g.node_count());
+/// // 1 — 2 — 3 are mutually conflicting along the path.
+/// let selected = [NodeId(1), NodeId(2), NodeId(3)];
+/// let classes = p.partition(&g, &selected);
+/// assert_eq!(classes, 2);
+/// assert_ne!(p.color_of(NodeId(1)), p.color_of(NodeId(2)));
+/// assert_eq!(p.color_of(NodeId(1)), p.color_of(NodeId(3)));
+/// // Non-adjacent selections need a single class.
+/// assert_eq!(p.partition(&g, &[NodeId(0), NodeId(2), NodeId(4)]), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConflictPartitioner {
+    /// Color per node; valid only for nodes stamped in this round.
+    color: Vec<u32>,
+    /// Round stamp per node (dodges an `O(n)` reset per call).
+    stamp: Vec<u64>,
+    round: u64,
+    /// `used[c] == seq` marks color `c` taken by a neighbor of the
+    /// node currently being colored.
+    used: Vec<u64>,
+    seq: u64,
+}
+
+impl ConflictPartitioner {
+    /// Scratch for graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ConflictPartitioner {
+            color: vec![UNCOLORED; n],
+            stamp: vec![0; n],
+            round: 0,
+            used: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Partitions `selected` into conflict-free classes by greedy
+    /// first-fit coloring of the induced subgraph, in selection order.
+    /// Returns the number of classes; per-node colors are readable
+    /// through [`ConflictPartitioner::color_of`] until the next call.
+    ///
+    /// Duplicate entries keep their first color. Empty selections use
+    /// zero classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected node's index is `>= n` (the capacity given
+    /// to [`ConflictPartitioner::new`]).
+    pub fn partition(&mut self, g: &Graph, selected: &[NodeId]) -> u32 {
+        self.round += 1;
+        let round = self.round;
+        let mut num_colors = 0u32;
+        for &u in selected {
+            if self.stamp[u.index()] == round {
+                continue; // duplicate entry
+            }
+            self.stamp[u.index()] = round;
+            self.seq += 1;
+            let seq = self.seq;
+            for &v in g.neighbors(u) {
+                if self.stamp[v.index()] == round {
+                    let c = self.color[v.index()] as usize;
+                    if c >= self.used.len() {
+                        self.used.resize(c + 1, 0);
+                    }
+                    self.used[c] = seq;
+                }
+            }
+            let mut c = 0u32;
+            while (c as usize) < self.used.len() && self.used[c as usize] == seq {
+                c += 1;
+            }
+            self.color[u.index()] = c;
+            num_colors = num_colors.max(c + 1);
+        }
+        num_colors
+    }
+
+    /// The class of `u` from the most recent partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` was not part of the most recent selection.
+    pub fn color_of(&self, u: NodeId) -> u32 {
+        assert!(
+            self.stamp[u.index()] == self.round && self.round > 0,
+            "{u:?} was not in the most recent partition"
+        );
+        self.color[u.index()]
+    }
+
+    /// Materializes the classes of the most recent partition, in class
+    /// order (allocates; meant for tests and diagnostics).
+    pub fn classes(&self, selected: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let mut out: Vec<Vec<NodeId>> = Vec::new();
+        let mut seen = Bitset::new(self.color.len());
+        for &u in selected {
+            if seen.contains(u.index()) {
+                continue;
+            }
+            seen.insert(u.index());
+            let c = self.color_of(u) as usize;
+            if c >= out.len() {
+                out.resize_with(c + 1, Vec::new);
+            }
+            out[c].push(u);
+        }
+        out
+    }
+}
+
+/// Checks that `classes` is a conflict-free partition of `selected`
+/// under `g`: classes cover the selection exactly and no class
+/// contains an edge. Used by debug assertions and property tests.
+pub fn is_conflict_free(g: &Graph, selected: &[NodeId], classes: &[Vec<NodeId>]) -> bool {
+    let mut seen = Bitset::new(g.node_count());
+    let mut covered = 0usize;
+    for class in classes {
+        for (i, &u) in class.iter().enumerate() {
+            if seen.contains(u.index()) {
+                return false; // duplicated across classes
+            }
+            seen.insert(u.index());
+            covered += 1;
+            for &v in &class[i + 1..] {
+                if g.are_neighbors(u, v) {
+                    return false;
+                }
+            }
+        }
+    }
+    let mut distinct = Bitset::new(g.node_count());
+    for &u in selected {
+        distinct.insert(u.index());
+    }
+    covered == distinct.count() && selected.iter().all(|&u| seen.contains(u.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn whole_graph_coloring_is_proper_and_bounded() {
+        for g in [
+            generators::ring(9),
+            generators::star(7),
+            generators::complete(5),
+            generators::random_connected(20, 15, 3),
+        ] {
+            let c = greedy_coloring(&g);
+            assert!(c.num_colors as usize <= g.max_degree() + 1);
+            for (u, v) in g.edges() {
+                assert_ne!(c.colors[u.index()], c.colors[v.index()], "edge {u:?}-{v:?}");
+            }
+            assert_eq!(
+                c.colors.iter().copied().max().unwrap() + 1,
+                c.num_colors,
+                "num_colors is the exact count"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_classes_are_independent_sets() {
+        let g = generators::random_connected(24, 20, 7);
+        let mut p = ConflictPartitioner::new(g.node_count());
+        // A deterministic pseudo-random selection.
+        let selected: Vec<NodeId> = g.nodes().filter(|u| u.index() % 3 != 1).collect();
+        let k = p.partition(&g, &selected);
+        let classes = p.classes(&selected);
+        assert_eq!(classes.len() as u32, k);
+        assert!(is_conflict_free(&g, &selected, &classes));
+        assert!(classes.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn partitioner_is_reusable_and_deterministic() {
+        let g = generators::torus(4, 4);
+        let mut p = ConflictPartitioner::new(g.node_count());
+        let sel: Vec<NodeId> = g.nodes().collect();
+        let a = p.partition(&g, &sel);
+        let colors_a: Vec<u32> = sel.iter().map(|&u| p.color_of(u)).collect();
+        let b = p.partition(&g, &sel);
+        let colors_b: Vec<u32> = sel.iter().map(|&u| p.color_of(u)).collect();
+        assert_eq!(a, b);
+        assert_eq!(colors_a, colors_b);
+    }
+
+    #[test]
+    fn empty_and_singleton_selections() {
+        let g = generators::path(4);
+        let mut p = ConflictPartitioner::new(g.node_count());
+        assert_eq!(p.partition(&g, &[]), 0);
+        assert_eq!(p.partition(&g, &[NodeId(2)]), 1);
+        assert_eq!(p.color_of(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn duplicates_keep_first_color() {
+        let g = generators::path(3);
+        let mut p = ConflictPartitioner::new(g.node_count());
+        let k = p.partition(&g, &[NodeId(0), NodeId(1), NodeId(0)]);
+        assert_eq!(k, 2);
+        let classes = p.classes(&[NodeId(0), NodeId(1), NodeId(0)]);
+        assert!(is_conflict_free(&g, &[NodeId(0), NodeId(1)], &classes));
+    }
+
+    #[test]
+    fn is_conflict_free_rejects_adjacent_pairs() {
+        let g = generators::path(3);
+        let bad = vec![vec![NodeId(0), NodeId(1)]];
+        assert!(!is_conflict_free(&g, &[NodeId(0), NodeId(1)], &bad));
+        let good = vec![vec![NodeId(0)], vec![NodeId(1)]];
+        assert!(is_conflict_free(&g, &[NodeId(0), NodeId(1)], &good));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the most recent partition")]
+    fn color_of_unselected_panics() {
+        let g = generators::path(3);
+        let mut p = ConflictPartitioner::new(g.node_count());
+        p.partition(&g, &[NodeId(0)]);
+        let _ = p.color_of(NodeId(2));
+    }
+}

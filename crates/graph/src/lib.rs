@@ -17,7 +17,10 @@
 //!   experiment harness (rings, paths, stars, trees, grids, tori,
 //!   hypercubes, random connected graphs, …);
 //! * [`metrics`] — exact graph metrics (diameter, eccentricities,
-//!   degree statistics) computed by BFS.
+//!   degree statistics) computed by BFS;
+//! * [`coloring`] — greedy coloring and the neighborhood-conflict
+//!   partition the parallel step pipeline in `ssr-runtime` builds on,
+//!   plus the word-packed [`Bitset`] used for per-node flags at scale.
 //!
 //! # Examples
 //!
@@ -31,10 +34,13 @@
 //! assert_eq!(ssr_graph::metrics::diameter(&g), 2);
 //! ```
 
+mod bitset;
 mod builder;
+pub mod coloring;
 pub mod generators;
 mod graph;
 pub mod metrics;
 
+pub use bitset::Bitset;
 pub use builder::{GraphBuilder, GraphError};
 pub use graph::{Graph, NodeId};

@@ -89,6 +89,7 @@ use ssr_graph::{Graph, NodeId};
 use crate::algorithm::{Algorithm, RuleId};
 use crate::daemon::Daemon;
 use crate::simulator::{RunOutcome, Simulator, StepOutcome, TerminationReason};
+use crate::step::par::ParHooks;
 
 /// A passive probe attached to an execution.
 ///
@@ -314,6 +315,9 @@ pub struct Execution<'e, 'g, A: Algorithm, O = NoObserver, P = NoPredicate<A>> {
     cap: u64,
     observer: O,
     predicate: Option<P>,
+    /// `Some(hooks)` when [`Execution::intra_threads`] was called: the
+    /// pre-built kernels to install (inner `None` = explicit sequential).
+    intra: Option<Option<ParHooks<A>>>,
 }
 
 /// Outcome of [`Execution::run_report`]: the [`RunOutcome`] plus the
@@ -368,6 +372,7 @@ impl<'e, 'g, A: Algorithm> Execution<'e, 'g, A> {
             cap: u64::MAX,
             observer: NoObserver,
             predicate: None,
+            intra: None,
         }
     }
 
@@ -378,6 +383,7 @@ impl<'e, 'g, A: Algorithm> Execution<'e, 'g, A> {
             cap: u64::MAX,
             observer: NoObserver,
             predicate: None,
+            intra: None,
         }
     }
 }
@@ -455,6 +461,20 @@ impl<'e, 'g, A: Algorithm, O, P> Execution<'e, 'g, A, O, P> {
         self
     }
 
+    /// Runs the step pipeline's apply and guard kernels on `threads`
+    /// scoped worker threads (1 or 0 = sequential; the default). Works
+    /// on fresh and resumed executions alike, and is byte-identical to
+    /// sequential at any thread count — see
+    /// [`Simulator::set_intra_threads`].
+    pub fn intra_threads(mut self, threads: usize) -> Self
+    where
+        A: Sync,
+        A::State: Send + Sync,
+    {
+        self.intra = Some(crate::step::par::hooks::<A>(threads));
+        self
+    }
+
     /// Attaches a probe; repeated calls nest, so every attached
     /// observer sees every event (earlier attachments fire first).
     pub fn observe<O2: Observer<A>>(self, observer: O2) -> Execution<'e, 'g, A, (O, O2), P> {
@@ -463,6 +483,7 @@ impl<'e, 'g, A: Algorithm, O, P> Execution<'e, 'g, A, O, P> {
             cap: self.cap,
             observer: (self.observer, observer),
             predicate: self.predicate,
+            intra: self.intra,
         }
     }
 
@@ -478,6 +499,7 @@ impl<'e, 'g, A: Algorithm, O, P> Execution<'e, 'g, A, O, P> {
             cap: self.cap,
             observer: self.observer,
             predicate: Some(predicate),
+            intra: self.intra,
         }
     }
 }
@@ -524,11 +546,20 @@ where
             cap,
             mut observer,
             mut predicate,
+            intra,
         } = self;
         match source {
-            Source::Resumed(sim) => drive(sim, cap, &mut observer, predicate.as_mut()),
+            Source::Resumed(sim) => {
+                if let Some(hooks) = intra {
+                    sim.install_par(hooks);
+                }
+                drive(sim, cap, &mut observer, predicate.as_mut())
+            }
             fresh @ Source::Fresh { .. } => {
                 let mut sim = Self::build(fresh);
+                if let Some(hooks) = intra {
+                    sim.install_par(hooks);
+                }
                 drive(&mut sim, cap, &mut observer, predicate.as_mut())
             }
         }
@@ -547,6 +578,7 @@ where
             cap,
             mut observer,
             mut predicate,
+            intra,
         } = self;
         assert!(
             matches!(source, Source::Fresh { .. }),
@@ -554,6 +586,9 @@ where
              already owns the simulator — use run() instead"
         );
         let mut sim = Self::build(source);
+        if let Some(hooks) = intra {
+            sim.install_par(hooks);
+        }
         let outcome = drive(&mut sim, cap, &mut observer, predicate.as_mut());
         RunReport { outcome, sim }
     }
@@ -869,6 +904,36 @@ mod tests {
         assert!(out.terminal && out.reached);
         assert_eq!(out.reason, TerminationReason::Terminal);
         assert_eq!(log.0.iter().filter(|e| *e == "terminal").count(), 1);
+    }
+
+    #[test]
+    fn intra_threads_preserves_observer_event_order() {
+        // The staged pipeline must fire on_move/on_step/on_round_complete
+        // in the exact sequential order at any thread count.
+        let g = generators::random_connected(20, 30, 3);
+        let run = |threads: usize| {
+            let mut log = EventLog::default();
+            let mut init = vec![false; 20];
+            init[0] = true;
+            let mut sim = Simulator::new(&g, Flood, init, Daemon::RandomSubset { p: 0.6 }, 13);
+            sim.set_par_threshold(0); // engage kernels even on tiny steps
+            let out = sim
+                .execution()
+                .intra_threads(threads)
+                .cap(10_000)
+                .observe(&mut log)
+                .run();
+            assert!(out.terminal);
+            log.0
+        };
+        let seq = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run(threads),
+                seq,
+                "event order diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -33,10 +33,18 @@
 //! simulator per worker thread. Everything needed for that is `Send`
 //! by construction and pinned by tests: [`Daemon`], [`RunStats`],
 //! [`RunOutcome`], and [`Simulator`] itself whenever the algorithm and
-//! its state are `Send`. A `Simulator` is single-threaded internally —
-//! parallelism in this workspace is always *across* runs, never within
-//! one, which is what keeps executions deterministic given their
-//! seeds.
+//! its state are `Send`.
+//!
+//! Within one run, the [`step`](crate::Simulator::step) pipeline can
+//! additionally fan its apply and guard kernels out over a scoped
+//! thread pool ([`Simulator::set_intra_threads`] /
+//! [`Execution::intra_threads`], `ExecBudget::with_intra_threads` for
+//! families). Intra-run parallelism is **deterministic by
+//! construction**: all daemon and rule-choice RNG draws happen in the
+//! sequential select phase, kernels only read the frozen pre-step
+//! configuration, and results merge in a fixed order — so a run is
+//! byte-identical at any thread count, and across-run parallelism
+//! composes freely with it.
 //!
 //! # Examples
 //!
@@ -76,15 +84,18 @@ pub mod faults;
 pub mod report;
 pub mod rng;
 mod simulator;
+pub mod soa;
+mod step;
 
 pub use algorithm::{Algorithm, ConfigView, MapView, RuleId, RuleMask, StateView};
 pub use daemon::Daemon;
 pub use exec::{Execution, NoObserver, NoPredicate, Observer, RunReport};
 pub use family::{
-    AlgorithmSpec, Amount, Bounds, ExploreFamily, Family, FamilyProbe, FamilyRegistry,
+    AlgorithmSpec, Amount, Bounds, ExecBudget, ExploreFamily, Family, FamilyProbe, FamilyRegistry,
     FamilyRunOutcome, InitPlan, RunSeeds, Verdict,
 };
 pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome, TerminationReason};
+pub use soa::{AosColumns, ScalarColumns, StateColumns};
 
 // Re-export the graph handle: every API in this crate speaks `NodeId`.
 pub use ssr_graph::NodeId;

@@ -1,16 +1,28 @@
 //! The [`Simulator`]: composite-atomicity execution engine with move and
-//! round accounting.
+//! round accounting, built on the staged step pipeline in [`crate::step`].
 
 use std::fmt;
 
-use ssr_graph::{Graph, NodeId};
+use ssr_graph::coloring::ConflictPartitioner;
+use ssr_graph::{Bitset, Graph, NodeId};
 
 use crate::algorithm::{Algorithm, ConfigView, RuleId, RuleMask};
 use crate::daemon::Daemon;
 use crate::exec::Execution;
 use crate::rng::Xoshiro256StarStar;
+use crate::soa::StateColumns;
+use crate::step;
+use crate::step::par::ParHooks;
 
 /// Execution counters (§2.4 time measures).
+///
+/// The per-node vectors (`moves_per_process`, `moves_per_process_rule`)
+/// are allocated **lazily** on the first counted move, and not at all
+/// when detailed stats are disabled ([`Simulator::set_detailed_stats`])
+/// — a million-node run does not pay `O(n · rules)` memory for
+/// accounting nothing reads. Use [`RunStats::moves_of`] and
+/// [`RunStats::max_moves_per_process`] rather than indexing the vectors
+/// directly; they treat the unallocated vectors as all-zero.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Steps taken (configuration transitions).
@@ -19,29 +31,34 @@ pub struct RunStats {
     pub moves: u64,
     /// Rounds fully completed (neutralization-based, §2.4).
     pub completed_rounds: u64,
-    /// Moves per process.
+    /// Moves per process (empty until the first tracked move).
     pub moves_per_process: Vec<u64>,
     /// Moves per rule.
     pub moves_per_rule: Vec<u64>,
-    /// Moves per (process, rule), flattened as `process * rule_count + rule`.
+    /// Moves per (process, rule), flattened as `process * rule_count + rule`
+    /// (empty until the first tracked move).
     pub moves_per_process_rule: Vec<u64>,
 }
 
 impl RunStats {
-    fn new(n: usize, rules: usize) -> Self {
+    fn new(rules: usize) -> Self {
         RunStats {
             steps: 0,
             moves: 0,
             completed_rounds: 0,
-            moves_per_process: vec![0; n],
+            moves_per_process: Vec::new(),
             moves_per_rule: vec![0; rules],
-            moves_per_process_rule: vec![0; n * rules],
+            moves_per_process_rule: Vec::new(),
         }
     }
 
-    /// Moves executed by process `u` with rule `rule`.
+    /// Moves executed by process `u` with rule `rule` (0 when per-node
+    /// tracking never allocated).
     pub fn moves_of(&self, u: NodeId, rule: RuleId, rule_count: usize) -> u64 {
-        self.moves_per_process_rule[u.index() * rule_count + rule.index()]
+        self.moves_per_process_rule
+            .get(u.index() * rule_count + rule.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The maximum per-process move count.
@@ -107,14 +124,22 @@ pub struct RunOutcome {
     pub reason: TerminationReason,
 }
 
+/// Minimum kernel input length before the installed parallel kernels
+/// kick in; below it, fork/join overhead dwarfs the work.
+const DEFAULT_PAR_THRESHOLD: usize = 2048;
+
 /// Composite-atomicity execution engine.
 ///
-/// Owns the configuration, evaluates guards (with incremental caching:
-/// after a step only the movers and their neighbors are re-evaluated),
-/// lets a [`Daemon`] pick the activated subset, and maintains move and
-/// round counters.
+/// Owns the configuration and drives the three-phase step pipeline
+/// (the `step` module): daemon selection and rule resolution, next-state
+/// computation against the frozen pre-step configuration, and guard
+/// re-evaluation over the movers' closed neighborhoods (incremental:
+/// only nodes whose guards can have changed are re-evaluated).
 ///
-/// See the crate-level documentation for an end-to-end example.
+/// The apply and guard phases optionally run on a scoped thread pool
+/// ([`Simulator::set_intra_threads`]); results are merged in a
+/// deterministic order, so a run is **byte-identical** at any thread
+/// count. See the crate-level documentation for an end-to-end example.
 pub struct Simulator<'g, A: Algorithm> {
     graph: &'g Graph,
     algo: A,
@@ -126,20 +151,34 @@ pub struct Simulator<'g, A: Algorithm> {
     /// Enabled nodes as an indexed set (swap-remove list + position map).
     enabled_list: Vec<NodeId>,
     enabled_pos: Vec<u32>,
-    /// Steps each process has been continuously enabled (for `Aging`).
+    /// Enabled nodes as a bitset (SoA mirror of `enabled_pos != NOT_ENABLED`).
+    enabled_bits: Bitset,
+    /// Steps each process has been continuously enabled (for `Aging`;
+    /// empty unless the daemon needs it).
     waits: Vec<u32>,
     track_waits: bool,
     /// Round front: processes enabled at round start, still pending.
-    front: Vec<bool>,
+    front: Bitset,
     front_count: usize,
     /// Whether the last step completed a round.
     round_just_completed: bool,
     rr_cursor: usize,
     stats: RunStats,
+    /// Whether per-node move counters are maintained (lazily allocated).
+    detailed_stats: bool,
+    /// Installed parallel kernels (`None` = sequential).
+    par: Option<ParHooks<A>>,
+    /// Minimum kernel input length before `par` is used.
+    par_threshold: usize,
+    /// Conflict-partition diagnostics (enabled via `set_conflict_stats`).
+    conflict: Option<ConflictPartitioner>,
+    last_conflict_classes: Option<u32>,
     // Scratch buffers (reused across steps).
     selected: Vec<NodeId>,
-    pending: Vec<(NodeId, RuleId, A::State)>,
     last_activated: Vec<(NodeId, RuleId)>,
+    next_buf: Vec<A::State>,
+    refresh_buf: Vec<NodeId>,
+    mask_buf: Vec<RuleMask>,
     touched_stamp: Vec<u64>,
     stamp: u64,
 }
@@ -174,16 +213,24 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             masks: vec![RuleMask::NONE; n],
             enabled_list: Vec::with_capacity(n),
             enabled_pos: vec![NOT_ENABLED; n],
-            waits: vec![0; n],
+            enabled_bits: Bitset::new(n),
+            waits: if track_waits { vec![0; n] } else { Vec::new() },
             track_waits,
-            front: vec![false; n],
+            front: Bitset::new(n),
             front_count: 0,
             round_just_completed: false,
             rr_cursor: 0,
-            stats: RunStats::new(n, rules),
+            stats: RunStats::new(rules),
+            detailed_stats: true,
+            par: None,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+            conflict: None,
+            last_conflict_classes: None,
             selected: Vec::new(),
-            pending: Vec::new(),
             last_activated: Vec::new(),
+            next_buf: Vec::new(),
+            refresh_buf: Vec::new(),
+            mask_buf: Vec::new(),
             touched_stamp: vec![0; n],
             stamp: 0,
         };
@@ -197,6 +244,67 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
     /// leaves this choice nondeterministic, §2.2).
     pub fn set_random_rule_choice(&mut self, random: bool) {
         self.random_rule_choice = random;
+    }
+
+    /// Runs the apply and guard kernels on `threads` scoped worker
+    /// threads (1 or 0 restores sequential execution). Runs are
+    /// byte-identical at any thread count: same states, counters, RNG
+    /// stream, and observer event order.
+    ///
+    /// Kernels only engage when a step's work exceeds the threshold
+    /// ([`Simulator::set_par_threshold`]).
+    pub fn set_intra_threads(&mut self, threads: usize)
+    where
+        A: Sync,
+        A::State: Send + Sync,
+    {
+        self.install_par(step::par::hooks::<A>(threads));
+    }
+
+    /// The configured intra-run worker count (1 = sequential).
+    pub fn intra_threads(&self) -> usize {
+        self.par.map_or(1, |h| h.threads)
+    }
+
+    /// Minimum kernel input length (selected moves, refresh-set size)
+    /// before the installed parallel kernels are used; below it the
+    /// sequential path runs. Set 0 to force the parallel path (tests).
+    pub fn set_par_threshold(&mut self, threshold: usize) {
+        self.par_threshold = threshold;
+    }
+
+    /// Installs pre-built kernels without `Sync` bounds (the bounds
+    /// were paid when the hooks were built).
+    pub(crate) fn install_par(&mut self, hooks: Option<ParHooks<A>>) {
+        self.par = hooks;
+    }
+
+    /// Enables or disables per-node move counters (`moves_per_process`,
+    /// `moves_per_process_rule`). On by default; switch off for scale
+    /// runs where nothing reads them — aggregate counters (steps,
+    /// moves, rounds, per-rule moves) are always maintained.
+    pub fn set_detailed_stats(&mut self, detailed: bool) {
+        self.detailed_stats = detailed;
+    }
+
+    /// Enables conflict-partition diagnostics: each step greedily
+    /// colors the selected set's induced subgraph and records the
+    /// class count ([`Simulator::last_conflict_classes`]).
+    pub fn set_conflict_stats(&mut self, enabled: bool) {
+        if enabled {
+            if self.conflict.is_none() {
+                self.conflict = Some(ConflictPartitioner::new(self.graph.node_count()));
+            }
+        } else {
+            self.conflict = None;
+            self.last_conflict_classes = None;
+        }
+    }
+
+    /// Conflict-free class count of the most recent step's selected
+    /// set, when diagnostics are on ([`Simulator::set_conflict_stats`]).
+    pub fn last_conflict_classes(&self) -> Option<u32> {
+        self.last_conflict_classes
     }
 
     /// The communication graph.
@@ -224,6 +332,18 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         ConfigView::new(self.graph, &self.states)
     }
 
+    /// Transposes the current configuration into struct-of-arrays
+    /// columns (see [`crate::soa`]); `cols` is cleared first.
+    pub fn snapshot_columns<C>(&self, cols: &mut C)
+    where
+        C: StateColumns<State = A::State>,
+    {
+        cols.clear();
+        for s in &self.states {
+            cols.push(s);
+        }
+    }
+
     /// Execution counters so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
@@ -240,10 +360,26 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
     }
 
     /// Enabled processes in ascending index order (for tests/reports).
+    ///
+    /// Allocates; hot paths should reuse a buffer through
+    /// [`Simulator::enabled_nodes_sorted_into`].
     pub fn enabled_nodes_sorted(&self) -> Vec<NodeId> {
-        let mut v = self.enabled_list.clone();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.enabled_nodes_sorted_into(&mut v);
         v
+    }
+
+    /// Writes the enabled processes in ascending index order into
+    /// `out` (cleared first), reusing its capacity.
+    pub fn enabled_nodes_sorted_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(&self.enabled_list);
+        out.sort_unstable();
+    }
+
+    /// Enabled processes as a bitset (one bit per node).
+    pub fn enabled_bits(&self) -> &Bitset {
+        &self.enabled_bits
     }
 
     /// The enabled-rule mask of `u` in the current configuration.
@@ -285,19 +421,20 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
     /// Zeroes all counters and restarts round tracking (useful to
     /// measure recovery after [`Simulator::inject`]).
     pub fn reset_stats(&mut self) {
-        self.stats = RunStats::new(self.graph.node_count(), self.algo.rule_count());
+        self.stats = RunStats::new(self.algo.rule_count());
         self.round_just_completed = false;
         self.start_round();
     }
 
-    /// Executes one step: the daemon activates a non-empty subset of the
-    /// enabled processes; each executes one enabled rule, all reading
-    /// the pre-step configuration.
+    /// Executes one step of the pipeline: the daemon activates a
+    /// non-empty subset of the enabled processes; each executes one
+    /// enabled rule, all reading the pre-step configuration.
     pub fn step(&mut self) -> StepOutcome {
         if self.enabled_list.is_empty() {
             return StepOutcome::Terminal;
         }
-        // 1. Daemon selection.
+        // Phase 1 (select): daemon choice + rule resolution. Owns every
+        // RNG draw of the step; always sequential.
         let mut selected = std::mem::take(&mut self.selected);
         self.daemon.select(
             &self.enabled_list,
@@ -307,54 +444,83 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             &mut self.rng,
             &mut selected,
         );
+        step::select::resolve_rules(
+            &self.masks,
+            self.random_rule_choice,
+            &mut self.rng,
+            &selected,
+            &mut self.last_activated,
+        );
+        if let Some(p) = self.conflict.as_mut() {
+            let k = p.partition(self.graph, &selected);
+            debug_assert!(
+                ssr_graph::coloring::is_conflict_free(self.graph, &selected, &p.classes(&selected)),
+                "conflict partition must split the selection into independent sets"
+            );
+            self.last_conflict_classes = Some(k);
+        }
 
-        // 2. Compute new states against the *old* configuration.
-        let mut pending = std::mem::take(&mut self.pending);
-        pending.clear();
-        self.last_activated.clear();
-        {
-            let view = ConfigView::new(self.graph, &self.states);
-            for &u in &selected {
-                let mask = self.masks[u.index()];
-                debug_assert!(!mask.is_empty(), "daemon selected a disabled process");
-                let rule = if self.random_rule_choice && mask.count() > 1 {
-                    let k = self.rng.below(mask.count() as u64) as u32;
-                    mask.iter().nth(k as usize).expect("mask has k-th rule")
-                } else {
-                    mask.first().expect("mask non-empty")
-                };
-                let next = self.algo.apply(u, &view, rule);
-                pending.push((u, rule, next));
+        // Phase 2 (apply): next states against the *old* configuration.
+        let mut next = std::mem::take(&mut self.next_buf);
+        let par = self.par_if(self.last_activated.len());
+        step::apply::compute_next_states(
+            self.graph,
+            &self.algo,
+            &self.states,
+            &self.last_activated,
+            &mut next,
+            par,
+        );
+
+        // Merge: commit all writes in selection order (composite
+        // atomicity — every read above saw the pre-step configuration).
+        let rules = self.algo.rule_count();
+        if self.detailed_stats && self.stats.moves_per_process.is_empty() {
+            let n = self.graph.node_count();
+            self.stats.moves_per_process = vec![0; n];
+            self.stats.moves_per_process_rule = vec![0; n * rules];
+        }
+        for (&(u, rule), next_state) in self.last_activated.iter().zip(next.drain(..)) {
+            self.states[u.index()] = next_state;
+            self.stats.moves += 1;
+            self.stats.moves_per_rule[rule.index()] += 1;
+            if self.detailed_stats {
+                self.stats.moves_per_process[u.index()] += 1;
+                self.stats.moves_per_process_rule[u.index() * rules + rule.index()] += 1;
             }
         }
-
-        // 3. Commit all writes (composite atomicity).
-        for (u, rule, next) in pending.drain(..) {
-            self.states[u.index()] = next;
-            self.stats.moves += 1;
-            self.stats.moves_per_process[u.index()] += 1;
-            self.stats.moves_per_rule[rule.index()] += 1;
-            self.stats.moves_per_process_rule[u.index() * self.algo.rule_count() + rule.index()] +=
-                1;
-            self.last_activated.push((u, rule));
-        }
-        self.pending = pending;
+        self.next_buf = next;
         self.stats.steps += 1;
 
-        // 4. Re-evaluate guards of movers and their neighbors.
+        // Phase 3 (guards): re-evaluate movers and their neighbors —
+        // the only nodes whose guards can have changed (§2.2 locality).
         self.stamp += 1;
         let stamp = self.stamp;
-        for i in 0..self.last_activated.len() {
-            let u = self.last_activated[i].0;
-            self.refresh_node(u, stamp);
-            let deg = self.graph.degree(u);
-            for k in 0..deg {
-                let v = self.graph.neighbor_at(u, k);
-                self.refresh_node(v, stamp);
-            }
+        let mut refresh = std::mem::take(&mut self.refresh_buf);
+        step::guards::collect_refresh_targets(
+            self.graph,
+            &self.last_activated,
+            &mut self.touched_stamp,
+            stamp,
+            &mut refresh,
+        );
+        let mut new_masks = std::mem::take(&mut self.mask_buf);
+        let par = self.par_if(refresh.len());
+        step::guards::compute_masks(
+            self.graph,
+            &self.algo,
+            &self.states,
+            &refresh,
+            &mut new_masks,
+            par,
+        );
+        // Sequential, list-ordered transition pass keeps the enabled
+        // set's internal order deterministic.
+        for (i, &u) in refresh.iter().enumerate() {
+            self.apply_mask(u, new_masks[i]);
         }
 
-        // 5. Wait tracking (only when the daemon needs it).
+        // Wait tracking (only when the daemon needs it).
         if self.track_waits {
             for &u in &self.enabled_list {
                 self.waits[u.index()] = self.waits[u.index()].saturating_add(1);
@@ -364,31 +530,22 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             }
         }
 
-        // 6. Round accounting: remove activated and neutralized
-        // processes from the front. (Front processes are enabled at
-        // round start; if one became disabled it did so in this step —
-        // earlier disabling would already have removed it.)
+        // Round accounting: remove activated and neutralized processes
+        // from the front. (Front processes are enabled at round start;
+        // if one became disabled it did so in this step — earlier
+        // disabling would already have removed it.)
         for i in 0..self.last_activated.len() {
             let u = self.last_activated[i].0;
             self.front_remove(u);
         }
-        // Neutralized: in front but no longer enabled.
+        // Neutralized: in front but no longer enabled. Membership
+        // requires enabledness, so scanning the refreshed nodes covers
+        // every candidate.
         if self.front_count > 0 {
-            // Only nodes whose mask changed this step can have left the
-            // enabled set; they are exactly the refreshed ones, but
-            // checking the front lazily is simpler: membership requires
-            // enabledness, so scan refreshed nodes only.
-            for i in 0..self.last_activated.len() {
-                let u = self.last_activated[i].0;
-                if self.masks[u.index()].is_empty() {
-                    self.front_remove(u);
-                }
-                let deg = self.graph.degree(u);
-                for k in 0..deg {
-                    let v = self.graph.neighbor_at(u, k);
-                    if self.front[v.index()] && self.masks[v.index()].is_empty() {
-                        self.front_remove(v);
-                    }
+            for &u in &refresh {
+                if self.front.contains(u.index()) && self.masks[u.index()].is_empty() {
+                    self.front_count -= 1;
+                    self.front.remove(u.index());
                 }
             }
         }
@@ -399,6 +556,8 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             self.start_round();
         }
 
+        self.refresh_buf = refresh;
+        self.mask_buf = new_masks;
         let activated = self.last_activated.len();
         selected.clear();
         self.selected = selected;
@@ -425,6 +584,14 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
 
     // ---- internals ----
 
+    /// The installed kernels, when the work size warrants them.
+    fn par_if(&self, len: usize) -> Option<ParHooks<A>> {
+        match self.par {
+            Some(h) if len >= self.par_threshold => Some(h),
+            _ => None,
+        }
+    }
+
     fn recompute_all(&mut self) {
         let view = ConfigView::new(self.graph, &self.states);
         for u in self.graph.nodes() {
@@ -433,10 +600,12 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         }
         self.enabled_list.clear();
         self.enabled_pos.fill(NOT_ENABLED);
+        self.enabled_bits.clear();
         for u in self.graph.nodes() {
             if !self.masks[u.index()].is_empty() {
                 self.enabled_pos[u.index()] = self.enabled_list.len() as u32;
                 self.enabled_list.push(u);
+                self.enabled_bits.insert(u.index());
             }
         }
     }
@@ -447,8 +616,16 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             return;
         }
         self.touched_stamp[u.index()] = stamp;
-        let view = ConfigView::new(self.graph, &self.states);
-        let mask = self.algo.enabled_mask(u, &view);
+        let mask = {
+            let view = ConfigView::new(self.graph, &self.states);
+            self.algo.enabled_mask(u, &view)
+        };
+        self.apply_mask(u, mask);
+    }
+
+    /// Installs a freshly computed mask, maintaining the enabled-set
+    /// index (list + positions + bitset) and wait counters.
+    fn apply_mask(&mut self, u: NodeId, mask: RuleMask) {
         let was = !self.masks[u.index()].is_empty();
         let now = !mask.is_empty();
         self.masks[u.index()] = mask;
@@ -456,6 +633,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             (false, true) => {
                 self.enabled_pos[u.index()] = self.enabled_list.len() as u32;
                 self.enabled_list.push(u);
+                self.enabled_bits.insert(u.index());
                 if self.track_waits {
                     self.waits[u.index()] = 0;
                 }
@@ -468,6 +646,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
                     self.enabled_pos[lastn.index()] = pos as u32;
                 }
                 self.enabled_pos[u.index()] = NOT_ENABLED;
+                self.enabled_bits.remove(u.index());
                 if self.track_waits {
                     self.waits[u.index()] = 0;
                 }
@@ -478,17 +657,16 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
 
     /// Begins a new round: the front is the set of enabled processes.
     fn start_round(&mut self) {
-        self.front.fill(false);
-        self.front_count = 0;
+        self.front.clear();
+        self.front_count = self.enabled_list.len();
         for &u in &self.enabled_list {
-            self.front[u.index()] = true;
-            self.front_count += 1;
+            self.front.insert(u.index());
         }
     }
 
     fn front_remove(&mut self, u: NodeId) {
-        if self.front[u.index()] {
-            self.front[u.index()] = false;
+        if self.front.contains(u.index()) {
+            self.front.remove(u.index());
             self.front_count -= 1;
         }
     }
@@ -629,6 +807,102 @@ mod tests {
         assert_eq!(sim.stats().moves_per_rule, vec![3]);
         assert_eq!(sim.stats().max_moves_per_process(), 1);
         assert_eq!(sim.stats().moves_of(NodeId(2), RuleId(0), 1), 1);
+    }
+
+    #[test]
+    fn detailed_stats_can_be_disabled() {
+        let (init, g) = flood_path(4);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.set_detailed_stats(false);
+        sim.execution().cap(100).run();
+        // Aggregates still tracked; per-node vectors never allocated.
+        assert_eq!(sim.stats().moves, 3);
+        assert_eq!(sim.stats().moves_per_rule, vec![3]);
+        assert!(sim.stats().moves_per_process.is_empty());
+        assert!(sim.stats().moves_per_process_rule.is_empty());
+        assert_eq!(sim.stats().moves_of(NodeId(2), RuleId(0), 1), 0);
+        assert_eq!(sim.stats().max_moves_per_process(), 0);
+    }
+
+    #[test]
+    fn per_node_stats_allocate_lazily() {
+        let (init, g) = flood_path(3);
+        let sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        // No step taken yet: nothing allocated.
+        assert!(sim.stats().moves_per_process.is_empty());
+        assert!(sim.stats().moves_per_process_rule.is_empty());
+    }
+
+    #[test]
+    fn enabled_nodes_sorted_into_reuses_buffer() {
+        let g = generators::path(2);
+        let sim = Simulator::new(&g, ZeroBreaker, vec![0, 0], Daemon::LexMin, 1);
+        let mut buf = vec![NodeId(9); 7];
+        sim.enabled_nodes_sorted_into(&mut buf);
+        assert_eq!(buf, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(sim.enabled_nodes_sorted(), buf);
+    }
+
+    #[test]
+    fn enabled_bits_mirror_enabled_list() {
+        let (init, g) = flood_path(5);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        loop {
+            let sorted: Vec<usize> = sim.enabled_bits().iter().collect();
+            let mut expected: Vec<usize> = sim
+                .enabled_nodes_sorted()
+                .iter()
+                .map(|u| u.index())
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(sorted, expected);
+            if let StepOutcome::Terminal = sim.step() {
+                break;
+            }
+        }
+        assert_eq!(sim.enabled_bits().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_columns_round_trips_configuration() {
+        use crate::soa::{AosColumns, StateColumns};
+        let (init, g) = flood_path(4);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.step();
+        let mut cols = AosColumns::default();
+        sim.snapshot_columns(&mut cols);
+        assert_eq!(cols.to_states(), sim.states());
+    }
+
+    #[test]
+    fn intra_threads_run_is_byte_identical_to_sequential() {
+        let g = generators::random_connected(40, 60, 21);
+        let mut init = vec![false; 40];
+        init[0] = true;
+        let run = |threads: usize| {
+            let mut sim = Simulator::new(&g, Flood, init.clone(), Daemon::Synchronous, 7);
+            sim.set_intra_threads(threads);
+            sim.set_par_threshold(0); // engage kernels even on tiny steps
+            sim.execution().cap(10_000).run();
+            (sim.stats().clone(), sim.states().to_vec())
+        };
+        let seq = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), seq, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn conflict_stats_report_partition_classes() {
+        let (init, g) = flood_path(4);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        assert_eq!(sim.last_conflict_classes(), None);
+        sim.set_conflict_stats(true);
+        sim.step();
+        // One mover per flood step: a single conflict-free class.
+        assert_eq!(sim.last_conflict_classes(), Some(1));
+        sim.set_conflict_stats(false);
+        assert_eq!(sim.last_conflict_classes(), None);
     }
 
     #[test]

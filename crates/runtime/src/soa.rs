@@ -1,0 +1,190 @@
+//! Struct-of-arrays state columns.
+//!
+//! The simulator's canonical configuration is `Vec<A::State>` (array of
+//! structs); at millions of nodes, analysis passes that touch a single
+//! field per node (distance histograms, status counts, memory
+//! accounting) want the transposed layout — one flat array per field.
+//! [`StateColumns`] is that contract: algorithm crates implement it for
+//! their state type (`SdrColumns`, `FgaColumns`, …) and any simulator
+//! can transpose its configuration into the columns via
+//! [`crate::Simulator::snapshot_columns`].
+//!
+//! Two blanket building blocks come with the trait:
+//!
+//! * [`AosColumns`] — the default-implemented, backwards-compatible
+//!   "column" that simply stores the states contiguously. Every
+//!   algorithm state gets a columnar representation for free; crates
+//!   opt into genuinely flat layouts by writing their own impl.
+//! * [`ScalarColumns`] — the flat array for plain-scalar states
+//!   (`Unison`'s clock is `ScalarColumns<u64>`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_runtime::{ScalarColumns, StateColumns};
+//!
+//! let cols = ScalarColumns::<u64>::from_states(&[3, 1, 4]);
+//! assert_eq!(cols.len(), 3);
+//! assert_eq!(cols.get(1), 1);
+//! assert_eq!(cols.to_states(), vec![3, 1, 4]);
+//! ```
+
+use std::fmt;
+
+/// A columnar (struct-of-arrays) representation of per-node states.
+///
+/// `push`/`get` round-trip exactly: `get(i)` reconstructs the `i`-th
+/// pushed state. Implementations are plain growable buffers — no graph
+/// or simulator coupling — so they double as snapshot containers.
+pub trait StateColumns {
+    /// The algorithm state this column set represents.
+    type State;
+
+    /// Drops all rows (capacity retained).
+    fn clear(&mut self);
+
+    /// Appends one state, decomposed into the columns.
+    fn push(&mut self, state: &Self::State);
+
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// Whether there are no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstructs the `i`-th state from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn get(&self, i: usize) -> Self::State;
+
+    /// Heap bytes held by the column storage (for memory accounting at
+    /// scale).
+    fn heap_bytes(&self) -> usize;
+
+    /// Transposes a configuration slice into fresh columns.
+    fn from_states(states: &[Self::State]) -> Self
+    where
+        Self: Default + Sized,
+    {
+        let mut cols = Self::default();
+        for s in states {
+            cols.push(s);
+        }
+        cols
+    }
+
+    /// Reconstructs the full configuration (row order preserved).
+    fn to_states(&self) -> Vec<Self::State> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// The backwards-compatible passthrough column: states stored as-is.
+///
+/// This is the default-implemented columnar representation — it gives
+/// every algorithm a working [`StateColumns`] without writing one,
+/// while keeping the array-of-structs layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AosColumns<S> {
+    rows: Vec<S>,
+}
+
+impl<S> AosColumns<S> {
+    /// The backing rows.
+    pub fn rows(&self) -> &[S] {
+        &self.rows
+    }
+}
+
+impl<S: Clone + fmt::Debug> StateColumns for AosColumns<S> {
+    type State = S;
+
+    fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    fn push(&mut self, state: &S) {
+        self.rows.push(state.clone());
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn get(&self, i: usize) -> S {
+        self.rows[i].clone()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<S>()
+    }
+}
+
+/// The flat column for plain-scalar states (`u64` clocks, `u32`
+/// values, …).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScalarColumns<T> {
+    values: Vec<T>,
+}
+
+impl<T> ScalarColumns<T> {
+    /// The backing values.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T: Copy + fmt::Debug> StateColumns for ScalarColumns<T> {
+    type State = T;
+
+    fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    fn push(&mut self, state: &T) {
+        self.values.push(*state);
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn get(&self, i: usize) -> T {
+        self.values[i]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aos_columns_round_trip() {
+        let states = vec![(1u8, 'a'), (2, 'b'), (3, 'c')];
+        let cols = AosColumns::from_states(&states);
+        assert_eq!(cols.len(), 3);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.get(2), (3, 'c'));
+        assert_eq!(cols.to_states(), states);
+        assert_eq!(cols.rows(), &states[..]);
+        assert!(cols.heap_bytes() >= 3 * std::mem::size_of::<(u8, char)>());
+    }
+
+    #[test]
+    fn scalar_columns_round_trip_and_clear() {
+        let mut cols = ScalarColumns::<u64>::from_states(&[9, 8, 7]);
+        assert_eq!(cols.values(), &[9, 8, 7]);
+        cols.clear();
+        assert!(cols.is_empty());
+        cols.push(&42);
+        assert_eq!(cols.to_states(), vec![42]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Scoped-thread kernels for the apply and guard phases.
+//!
+//! [`ParHooks`] carries plain `fn` pointers so that installing
+//! parallelism is the only place that needs `A: Sync` bounds
+//! ([`hooks`]); [`crate::Simulator::step`] calls through the pointers
+//! without any extra bounds on its own signature. The pointers are
+//! instantiations of [`par_masks`] and [`par_next_states`], which
+//! split their input into `threads` contiguous chunks, evaluate each
+//! chunk on a scoped thread against the shared read-only
+//! configuration, and write results back **in chunk order** — so the
+//! output vector is byte-identical to the sequential loop for any
+//! thread count.
+
+use ssr_graph::{Graph, NodeId};
+
+use crate::algorithm::{Algorithm, ConfigView, RuleId, RuleMask};
+
+/// Guard kernel: `(threads, graph, algo, states, nodes, out)`.
+type MaskKernel<A> =
+    fn(usize, &Graph, &A, &[<A as Algorithm>::State], &[NodeId], &mut Vec<RuleMask>);
+
+/// Apply kernel: `(threads, graph, algo, states, moves, out)`.
+type NextKernel<A> = fn(
+    usize,
+    &Graph,
+    &A,
+    &[<A as Algorithm>::State],
+    &[(NodeId, RuleId)],
+    &mut Vec<<A as Algorithm>::State>,
+);
+
+/// Installed parallel kernels plus the worker count.
+pub(crate) struct ParHooks<A: Algorithm> {
+    pub threads: usize,
+    pub masks: MaskKernel<A>,
+    pub next: NextKernel<A>,
+}
+
+impl<A: Algorithm> Clone for ParHooks<A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<A: Algorithm> Copy for ParHooks<A> {}
+
+/// Builds the kernels for `threads` workers, or `None` when `threads
+/// <= 1` (sequential execution). The `Sync`/`Send` bounds are paid
+/// here, once, instead of on every `step()` call.
+pub(crate) fn hooks<A>(threads: usize) -> Option<ParHooks<A>>
+where
+    A: Algorithm + Sync,
+    A::State: Send + Sync,
+{
+    (threads > 1).then_some(ParHooks {
+        threads,
+        masks: par_masks::<A>,
+        next: par_next_states::<A>,
+    })
+}
+
+/// Evaluates `enabled_mask` for every node of `nodes` into `out`
+/// (cleared first; `out[i]` is the mask of `nodes[i]`).
+pub(crate) fn par_masks<A>(
+    threads: usize,
+    graph: &Graph,
+    algo: &A,
+    states: &[A::State],
+    nodes: &[NodeId],
+    out: &mut Vec<RuleMask>,
+) where
+    A: Algorithm + Sync,
+    A::State: Sync,
+{
+    out.clear();
+    if nodes.is_empty() {
+        return;
+    }
+    out.resize(nodes.len(), RuleMask::NONE);
+    let chunk = nodes.len().div_ceil(threads.max(1));
+    std::thread::scope(|s| {
+        for (node_chunk, out_chunk) in nodes.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                let view = ConfigView::new(graph, states);
+                for (&u, slot) in node_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = algo.enabled_mask(u, &view);
+                }
+            });
+        }
+    });
+}
+
+/// Computes the next state of every move of `moves` against the frozen
+/// configuration `states`, into `out` (cleared first; `out[i]` is the
+/// next state of `moves[i]`). Workers return per-chunk vectors that
+/// are appended in chunk order, preserving the sequential layout.
+pub(crate) fn par_next_states<A>(
+    threads: usize,
+    graph: &Graph,
+    algo: &A,
+    states: &[A::State],
+    moves: &[(NodeId, RuleId)],
+    out: &mut Vec<A::State>,
+) where
+    A: Algorithm + Sync,
+    A::State: Send + Sync,
+{
+    out.clear();
+    if moves.is_empty() {
+        return;
+    }
+    let chunk = moves.len().div_ceil(threads.max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = moves
+            .chunks(chunk)
+            .map(|mv| {
+                s.spawn(move || {
+                    let view = ConfigView::new(graph, states);
+                    mv.iter()
+                        .map(|&(u, rule)| algo.apply(u, &view, rule))
+                        .collect::<Vec<A::State>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.append(&mut h.join().expect("apply worker panicked"));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::StateView;
+    use ssr_graph::generators;
+
+    /// Next state = sum of closed-neighborhood states (value-sensitive,
+    /// so any ordering or chunking mistake changes the output).
+    struct NeighborSum;
+
+    impl Algorithm for NeighborSum {
+        type State = u64;
+        fn rule_count(&self) -> usize {
+            1
+        }
+        fn rule_name(&self, _: RuleId) -> &'static str {
+            "sum"
+        }
+        fn enabled_mask<V: StateView<u64>>(&self, u: NodeId, view: &V) -> RuleMask {
+            RuleMask::from_bool(*view.state(u) % 2 == 0)
+        }
+        fn apply<V: StateView<u64>>(&self, u: NodeId, view: &V, _: RuleId) -> u64 {
+            let mut s = *view.state(u);
+            for &v in view.graph().neighbors(u) {
+                s += *view.state(v);
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_match_sequential_for_any_thread_count() {
+        let g = generators::random_connected(37, 50, 5);
+        let states: Vec<u64> = (0..37u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let moves: Vec<(NodeId, RuleId)> = nodes.iter().map(|&u| (u, RuleId(0))).collect();
+
+        let view = ConfigView::new(&g, &states);
+        let seq_masks: Vec<RuleMask> = nodes
+            .iter()
+            .map(|&u| NeighborSum.enabled_mask(u, &view))
+            .collect();
+        let seq_next: Vec<u64> = moves
+            .iter()
+            .map(|&(u, r)| NeighborSum.apply(u, &view, r))
+            .collect();
+
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let mut masks = Vec::new();
+            par_masks(threads, &g, &NeighborSum, &states, &nodes, &mut masks);
+            assert_eq!(masks, seq_masks, "masks differ at {threads} threads");
+            let mut next = Vec::new();
+            par_next_states(threads, &g, &NeighborSum, &states, &moves, &mut next);
+            assert_eq!(next, seq_next, "next states differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_outputs() {
+        let g = generators::path(3);
+        let states = vec![0u64; 3];
+        let mut masks = vec![RuleMask::just(RuleId(0))];
+        par_masks(4, &g, &NeighborSum, &states, &[], &mut masks);
+        assert!(masks.is_empty());
+        let mut next = vec![7u64];
+        par_next_states(4, &g, &NeighborSum, &states, &[], &mut next);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn hooks_gate_on_thread_count() {
+        assert!(hooks::<NeighborSum>(0).is_none());
+        assert!(hooks::<NeighborSum>(1).is_none());
+        let h = hooks::<NeighborSum>(4).expect("parallel hooks");
+        assert_eq!(h.threads, 4);
+    }
+}

@@ -103,6 +103,7 @@ proptest! {
             })
             .collect();
         let mut sim = Simulator::new(&g, SawTooth { cap: 12 }, init, daemon_from(daemon_idx), 9);
+        let mut enabled_buf = Vec::new();
         for _ in 0..steps {
             if let StepOutcome::Terminal = sim.step() {
                 break;
@@ -122,7 +123,8 @@ proptest! {
                 .nodes()
                 .filter(|&u| !algo.enabled_mask(u, &view).is_empty())
                 .collect();
-            prop_assert_eq!(sim.enabled_nodes_sorted(), from_masks);
+            sim.enabled_nodes_sorted_into(&mut enabled_buf);
+            prop_assert_eq!(&enabled_buf, &from_masks);
         }
     }
 

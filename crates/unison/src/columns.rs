@@ -1,0 +1,45 @@
+//! Columnar layouts for the unison states (see `ssr_runtime::soa`).
+//!
+//! Algorithm U's whole per-process state is the clock `c_u`, so its
+//! column set is the flat scalar array [`ClockColumns`]; the composed
+//! `U ∘ SDR` state transposes into SDR columns plus that clock array
+//! ([`UnisonSdrColumns`]).
+
+use ssr_core::columns::ComposedColumns;
+use ssr_runtime::ScalarColumns;
+
+/// The flat clock array — Algorithm U's state is the scalar `c_u`.
+pub type ClockColumns = ScalarColumns<u64>;
+
+/// Columns of the composed `U ∘ SDR` state: SDR status/distance arrays
+/// plus the clock array.
+pub type UnisonSdrColumns = ComposedColumns<ClockColumns>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unison::{unison_sdr, Unison};
+    use ssr_graph::generators;
+    use ssr_runtime::{Daemon, Simulator, StateColumns};
+
+    #[test]
+    fn simulator_snapshot_transposes_unison_sdr_states() {
+        let g = generators::ring(12);
+        let algo = unison_sdr(Unison::for_graph(&g));
+        let init = algo.arbitrary_config(&g, 0xC01);
+        let mut sim = Simulator::new(&g, algo, init, Daemon::RandomSubset { p: 0.5 }, 5);
+        for _ in 0..20 {
+            sim.step();
+        }
+        let mut cols = UnisonSdrColumns::default();
+        sim.snapshot_columns(&mut cols);
+        assert_eq!(cols.len(), 12);
+        assert_eq!(cols.to_states(), sim.states());
+        let clocks: Vec<u64> = sim.states().iter().map(|s| s.inner).collect();
+        assert_eq!(cols.inner().values(), &clocks[..]);
+        // Snapshots reuse the buffers: a second call replaces, never
+        // appends.
+        sim.snapshot_columns(&mut cols);
+        assert_eq!(cols.len(), 12);
+    }
+}

@@ -9,8 +9,8 @@ use ssr_graph::Graph;
 use ssr_runtime::exhaustive::ExploreOptions;
 use ssr_runtime::family::{
     explore_sample_seeds, explore_with_replay, stochastic_max_runs, AlgorithmSpec, Bounds,
-    ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan, ProbeBridge,
-    RunSeeds, StochasticMax, Verdict,
+    ExecBudget, ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan,
+    ProbeBridge, RunSeeds, StochasticMax, Verdict,
 };
 use ssr_runtime::rng::Xoshiro256StarStar;
 use ssr_runtime::{Algorithm, Daemon, Simulator};
@@ -91,7 +91,7 @@ impl Family for UnisonSdrFamily {
         init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let nn = graph.node_count() as u64;
@@ -112,7 +112,8 @@ impl Family for UnisonSdrFamily {
         let mut bridge = ProbeBridge::new(probe);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut bridge)
             .until(|gr, st| check.is_normal_config(gr, st))
             .run();
@@ -213,7 +214,7 @@ impl Family for UnisonFamily {
         init: &InitPlan,
         daemon: &Daemon,
         seeds: RunSeeds,
-        cap: u64,
+        budget: ExecBudget,
         probe: Option<&mut dyn FamilyProbe>,
     ) -> FamilyRunOutcome {
         let nn = graph.node_count() as u64;
@@ -238,7 +239,8 @@ impl Family for UnisonFamily {
         let mut bridge = ProbeBridge::new(probe);
         let out = sim
             .execution()
-            .cap(cap)
+            .cap(budget.cap)
+            .intra_threads(budget.intra_threads)
             .observe(&mut bridge)
             .until(|gr, st| spec::safety_holds(gr, st, period))
             .run();
@@ -286,7 +288,7 @@ mod tests {
                 &init,
                 &Daemon::RandomSubset { p: 0.5 },
                 seeds(),
-                2_000_000,
+                2_000_000.into(),
                 None,
             );
             assert_eq!(out.verdict, Verdict::Pass, "{init:?}: {out:?}");
@@ -315,7 +317,7 @@ mod tests {
             &InitPlan::Normal,
             &Daemon::Central,
             seeds(),
-            100_000,
+            100_000.into(),
             None,
         );
         assert!(out.reached, "γ_init satisfies the spec instantly");
@@ -335,7 +337,7 @@ mod tests {
             &InitPlan::Tear { gap: Amount::HalfN },
             &Daemon::Central,
             seeds(),
-            200_000,
+            200_000.into(),
             None,
         );
         assert!(!out.reached, "{out:?}");

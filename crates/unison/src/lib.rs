@@ -39,6 +39,7 @@
 //! assert!(spec::safety_holds(&g, &clocks, check.input().period()));
 //! ```
 
+pub mod columns;
 pub mod family;
 pub mod spec;
 mod unison;
