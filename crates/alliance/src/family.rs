@@ -127,6 +127,7 @@ impl Family for FgaSdrFamily {
         };
         let mut bridge = ProbeBridge::new(probe);
         let mut sim = Simulator::new(graph, algo, init_cfg, daemon.clone(), seeds.sim);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -134,6 +135,7 @@ impl Family for FgaSdrFamily {
             .observe(&mut verdict_probe)
             .observe(&mut bridge)
             .run();
+        bridge.collect_trace(&mut sim);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = sim.stats().max_moves_per_process();
         let v = verdict_probe.into_verdict().expect("sampled at run end");
@@ -287,6 +289,7 @@ impl Family for FgaStandaloneFamily {
         let init_cfg = algo.initial_config(graph);
         let mut bridge = ProbeBridge::new(probe);
         let mut sim = Simulator::new(graph, algo, init_cfg, daemon.clone(), seeds.sim);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -294,6 +297,7 @@ impl Family for FgaStandaloneFamily {
             .observe(&mut verdict_probe)
             .observe(&mut bridge)
             .run();
+        bridge.collect_trace(&mut sim);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = sim.stats().max_moves_per_process();
         let v = verdict_probe.into_verdict().expect("sampled at run end");

@@ -75,6 +75,7 @@ impl Family for CfgUnisonFamily {
             sim.reset_stats();
         }
         let mut bridge = ProbeBridge::new(probe);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -82,6 +83,7 @@ impl Family for CfgUnisonFamily {
             .observe(&mut bridge)
             .until(|gr, st| spec::safety_holds(gr, st, period))
             .run();
+        bridge.collect_trace(&mut sim);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = sim.stats().max_moves_per_process();
         // No closed-form bound: blowing the cap is a finding, not a
@@ -135,6 +137,7 @@ impl Family for MonoResetFamily {
             sim.reset_stats();
         }
         let mut bridge = ProbeBridge::new(probe);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -142,6 +145,7 @@ impl Family for MonoResetFamily {
             .observe(&mut bridge)
             .until(|gr, st| check.is_normal_config(gr, st))
             .run();
+        bridge.collect_trace(&mut sim);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = sim.stats().max_moves_per_process();
         fo

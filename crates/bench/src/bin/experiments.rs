@@ -12,7 +12,17 @@
 //! cargo run -p ssr-bench --bin experiments --release -- --list      # ids + claims
 //! cargo run -p ssr-bench --bin experiments --release -- --threads 8 # worker count
 //! cargo run -p ssr-bench --bin experiments --release -- --format json
+//! cargo run -p ssr-bench --bin experiments --release -- --progress  # live stderr progress
+//! cargo run -p ssr-bench --bin experiments --release -- --metrics M.json # pipeline metrics
+//! cargo run -p ssr-bench --bin experiments --release -- --trace DIR # per-scenario JSONL traces
 //! ```
+//!
+//! `--progress` streams scenario completion (done/total, ETA, busy
+//! workers) to stderr; `--metrics PATH` writes the merged pipeline
+//! metrics snapshot (schema `ssr-metrics-v1`, human table on stderr);
+//! `--trace DIR` writes one JSONL event trace per scenario under
+//! `DIR/<campaign-id>/` (schema in `DESIGN.md` §10). All three are
+//! read-only: tables and JSON results stay byte-identical.
 //!
 //! `--only E<k>[,E<k>...]` is the flag complement of `--list`: it
 //! selects experiment groups by id (case-insensitive, `+`-joined group
@@ -33,6 +43,7 @@
 //! (the whole-sweep trajectory record), subset runs only write when an
 //! explicit `--out PATH` is given.
 
+use ssr_bench::ctx::ExpCtx;
 use ssr_bench::experiments::{self, ExpResult, Profile};
 use ssr_campaign::{families, AlgorithmSpec};
 
@@ -66,6 +77,9 @@ struct Cli {
     out: Option<String>,
     wanted: Vec<String>,
     algorithms: Vec<AlgorithmSpec>,
+    progress: bool,
+    metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -80,6 +94,9 @@ fn parse_cli() -> Result<Cli, String> {
         out: None,
         wanted: Vec::new(),
         algorithms: Vec::new(),
+        progress: false,
+        metrics: None,
+        trace: None,
     };
     let mut table_format = false;
     let mut it = args.into_iter();
@@ -107,6 +124,9 @@ fn parse_cli() -> Result<Cli, String> {
                 }
             }
             "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?),
+            "--progress" => cli.progress = true,
+            "--metrics" => cli.metrics = Some(it.next().ok_or("--metrics needs a path")?),
+            "--trace" => cli.trace = Some(it.next().ok_or("--trace needs a directory")?),
             "--algorithms" => {
                 let v = it.next().ok_or("--algorithms needs <label,...>")?;
                 let registry = families::default_registry();
@@ -153,7 +173,8 @@ fn parse_cli() -> Result<Cli, String> {
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unrecognized flag {flag:?} (known: --quick --list --only E<k>[,E<k>...] \
-                     --algorithms <label,...> --threads N --format table|json --out PATH)"
+                     --algorithms <label,...> --threads N --format table|json --out PATH \
+                     --progress --metrics PATH --trace DIR)"
                 ));
             }
             id => cli.wanted.push(id.to_lowercase()),
@@ -222,15 +243,35 @@ fn main() {
         std::process::exit(2);
     }
 
+    let mut ctx = ExpCtx::new(cli.threads);
+    if cli.progress {
+        ctx = ctx.with_progress();
+    }
+    if cli.metrics.is_some() {
+        ctx = ctx.with_metrics(true);
+    }
+    if let Some(dir) = &cli.trace {
+        ctx = ctx.with_trace_dir(dir);
+    }
+
     let mut all_pass = true;
     let mut results = Vec::new();
     for entry in &selected {
-        let r: ExpResult = (entry.run)(profile, cli.threads);
+        let r: ExpResult = (entry.run)(profile, &ctx);
         if !cli.json {
             print!("{}", experiments::render_result(&r));
         }
         all_pass &= r.pass;
         results.push(r);
+    }
+
+    if let (Some(path), Some(snapshot)) = (&cli.metrics, ctx.metrics_snapshot()) {
+        if let Err(e) = std::fs::write(path, format!("{}\n", snapshot.to_json())) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprint!("{}", snapshot.render_table());
+        eprintln!("metrics written to {path}");
     }
 
     if cli.json {

@@ -1,0 +1,88 @@
+//! Validates JSONL trace files against the `ssr-obs` event schema
+//! (`DESIGN.md` §10): every line must be a known event carrying its
+//! required keys. Used by CI after running an instrumented experiment.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ssr-bench --bin obs_validate -- PATH [PATH...]
+//! ```
+//!
+//! Each `PATH` is a `.jsonl` trace file or a directory, walked
+//! recursively for `.jsonl` files. Exits nonzero on the first schema
+//! violation, on an empty file, or when no trace file is found at all
+//! (a directory with zero traces usually means the instrumented run
+//! silently wrote nothing — that should fail CI, not pass it).
+
+use std::path::{Path, PathBuf};
+
+use ssr_obs::trace::validate_jsonl_line;
+
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            collect(&entry, out)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "jsonl") {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+fn validate_file(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        validate_jsonl_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{}: empty trace file", path.display()));
+    }
+    Ok(lines)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: obs_validate PATH [PATH...]   (each PATH a .jsonl file or directory)");
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    for arg in &args {
+        let path = Path::new(arg);
+        if !path.exists() {
+            eprintln!("error: {arg}: no such file or directory");
+            std::process::exit(2);
+        }
+        if let Err(e) = collect(path, &mut files) {
+            eprintln!("error: {arg}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no .jsonl trace files under {}", args.join(", "));
+        std::process::exit(1);
+    }
+    let mut total = 0usize;
+    for file in &files {
+        match validate_file(file) {
+            Ok(lines) => total += lines,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "obs_validate: {} event(s) across {} trace file(s) conform to the schema",
+        total,
+        files.len()
+    );
+}

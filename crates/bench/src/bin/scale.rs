@@ -2,7 +2,9 @@
 //! the SDR composition to termination on rings and tori up to 10⁶
 //! nodes at several intra-run thread counts, verifies byte-identity
 //! across thread counts and convergence within the Cor. 5 bound, and
-//! writes throughput results to `BENCH_SCALE.json`.
+//! writes throughput results — including the per-phase wall-time
+//! breakdown from the `ssr-obs` metrics snapshot — to
+//! `BENCH_SCALE.json`.
 //!
 //! Usage:
 //!
@@ -10,6 +12,9 @@
 //! cargo run -p ssr-bench --bin scale --release                # full sweep
 //! cargo run -p ssr-bench --bin scale --release -- --smoke     # CI smoke (10⁵ ring)
 //! cargo run -p ssr-bench --bin scale --release -- --out PATH  # result path
+//! cargo run -p ssr-bench --bin scale --release -- --progress  # live cell progress
+//! cargo run -p ssr-bench --bin scale --release -- --metrics PATH # merged metrics JSON
+//! cargo run -p ssr-bench --bin scale --release -- --trace DIR # per-cell JSONL traces
 //! ```
 //!
 //! The workload is `Agreement ∘ SDR` from an adversarial
@@ -19,6 +24,12 @@
 //! each thread count and the final configuration and statistics must
 //! match the sequential run exactly — the process exits nonzero on
 //! any divergence or non-convergence.
+//!
+//! Each measured run carries a timed `PipelineMetrics` trace sink, so
+//! `BENCH_SCALE.json` (schema `bench-scale-v2`) reports where the wall
+//! time went per phase (`select`/`apply`/`guards` nanos) and how often
+//! the parallel kernels engaged. `--trace DIR` is intended for
+//! `--smoke`-sized runs — a full 10⁶-node sweep traces gigabytes.
 
 use std::time::Instant;
 
@@ -26,6 +37,11 @@ use ssr_core::columns::ComposedColumns;
 use ssr_core::toys::Agreement;
 use ssr_core::Sdr;
 use ssr_graph::{generators, Graph};
+use ssr_obs::metrics::MetricsSet;
+use ssr_obs::observers::{ConflictObserver, ConflictSummary};
+use ssr_obs::pipeline::{CompositeSink, PipelineMetrics};
+use ssr_obs::progress::{Progress, StderrProgress};
+use ssr_obs::trace::JsonlSink;
 use ssr_runtime::{Daemon, ScalarColumns, Simulator, StateColumns, StepOutcome};
 
 /// One measured run.
@@ -40,6 +56,14 @@ struct RunResult {
     converged: bool,
     conflict_classes_avg: f64,
     soa_heap_bytes: usize,
+    /// Per-phase wall time of the measured run, from the pipeline's
+    /// timed trace events.
+    phase_select_nanos: u64,
+    phase_apply_nanos: u64,
+    phase_guards_nanos: u64,
+    /// Steps on which the parallel apply/guards kernels engaged.
+    apply_par_steps: u64,
+    guards_par_steps: u64,
 }
 
 fn build(topology: &str, n: usize) -> Graph {
@@ -57,16 +81,36 @@ fn build(topology: &str, n: usize) -> Graph {
 /// the synchronous daemon) and reports throughput plus diagnostics.
 type SdrAgreementState = ssr_core::Composed<u32>;
 
+fn histogram_sum(m: &MetricsSet, key: &str) -> u64 {
+    m.histogram(key).map(|h| h.sum()).unwrap_or(0)
+}
+
 fn run_cell(
     g: &Graph,
     topology: &'static str,
     n: usize,
     threads: usize,
-) -> (RunResult, Vec<SdrAgreementState>) {
+    trace_dir: Option<&str>,
+) -> (
+    RunResult,
+    Vec<SdrAgreementState>,
+    MetricsSet,
+    ConflictSummary,
+) {
     let algo = Sdr::new(Agreement::new(8));
     let init = algo.arbitrary_config(g, 0x5CA1E);
     let mut sim = Simulator::new(g, algo, init, Daemon::Synchronous, 11);
     sim.set_intra_threads(threads);
+    // Phase-timed metrics on the measured run; optionally a JSONL
+    // event trace (timing stays out of the file so traces of the same
+    // cell are byte-identical).
+    let file = trace_dir.and_then(|dir| {
+        JsonlSink::create(format!("{dir}/trace-{topology}-{n}-t{threads}.jsonl")).ok()
+    });
+    sim.set_trace_sink(Box::new(CompositeSink::new(
+        Some(PipelineMetrics::new()),
+        file,
+    )));
     // Synchronous steps are rounds, so Cor. 5 bounds convergence.
     let cap = 3 * g.node_count() as u64 + 16;
     let started = Instant::now();
@@ -78,26 +122,27 @@ fn run_cell(
         }
     }
     let seconds = started.elapsed().as_secs_f64();
+    let mut cell_metrics = MetricsSet::new();
+    if let Some(mut sink) = sim.take_trace_sink() {
+        sink.flush();
+        if let Some(folded) = sink
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<CompositeSink>())
+            .and_then(CompositeSink::take_metrics)
+        {
+            cell_metrics = folded;
+        }
+    }
     // Conflict-partition diagnostic on a short replay: how many
     // greedy classes the per-step selections induce.
     let algo = Sdr::new(Agreement::new(8));
     let init = algo.arbitrary_config(g, 0x5CA1E);
     let mut diag = Simulator::new(g, algo, init, Daemon::Synchronous, 11);
     diag.set_conflict_stats(true);
-    let mut classes = Vec::new();
-    for _ in 0..10 {
-        if let StepOutcome::Terminal = diag.step() {
-            break;
-        }
-        if let Some(c) = diag.last_conflict_classes() {
-            classes.push(u64::from(c));
-        }
-    }
-    let conflict_classes_avg = if classes.is_empty() {
-        0.0
-    } else {
-        classes.iter().sum::<u64>() as f64 / classes.len() as f64
-    };
+    let mut conflicts = ConflictObserver::new();
+    diag.execution().cap(10).observe(&mut conflicts).run();
+    let summary = conflicts.summary();
+    conflicts.merge_into(&mut cell_metrics);
     // SoA snapshot: flat columns of the final configuration.
     let mut cols: ComposedColumns<ScalarColumns<u32>> = ComposedColumns::default();
     sim.snapshot_columns(&mut cols);
@@ -111,13 +156,22 @@ fn run_cell(
         rounds: sim.stats().completed_rounds,
         seconds,
         converged,
-        conflict_classes_avg,
+        conflict_classes_avg: summary.mean_classes().unwrap_or(0.0),
         soa_heap_bytes: cols.heap_bytes(),
+        phase_select_nanos: histogram_sum(&cell_metrics, "phase.select.nanos"),
+        phase_apply_nanos: histogram_sum(&cell_metrics, "phase.apply.nanos"),
+        phase_guards_nanos: histogram_sum(&cell_metrics, "phase.guards.nanos"),
+        apply_par_steps: cell_metrics
+            .counter_value("kernel.apply.par_steps")
+            .unwrap_or(0),
+        guards_par_steps: cell_metrics
+            .counter_value("kernel.guards.par_steps")
+            .unwrap_or(0),
     };
     // The full final configuration, compared exactly across thread
     // counts.
     let fingerprint = sim.states().to_vec();
-    (result, fingerprint)
+    (result, fingerprint, cell_metrics, summary)
 }
 
 fn json_escape_free(r: &RunResult) -> String {
@@ -125,7 +179,9 @@ fn json_escape_free(r: &RunResult) -> String {
         "{{\"topology\":\"{}\",\"n\":{},\"threads\":{},\"steps\":{},\"moves\":{},\
          \"rounds\":{},\"seconds\":{:.6},\"steps_per_sec\":{:.1},\
          \"moves_per_sec\":{:.1},\"converged\":{},\
-         \"conflict_classes_avg\":{:.2},\"soa_heap_bytes\":{}}}",
+         \"conflict_classes_avg\":{:.2},\"soa_heap_bytes\":{},\
+         \"phase_nanos\":{{\"select\":{},\"apply\":{},\"guards\":{}}},\
+         \"kernel_par_steps\":{{\"apply\":{},\"guards\":{}}}}}",
         r.topology,
         r.n,
         r.threads,
@@ -138,18 +194,30 @@ fn json_escape_free(r: &RunResult) -> String {
         r.converged,
         r.conflict_classes_avg,
         r.soa_heap_bytes,
+        r.phase_select_nanos,
+        r.phase_apply_nanos,
+        r.phase_guards_nanos,
+        r.apply_par_steps,
+        r.guards_par_steps,
     )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_SCALE.json".into());
+    let want_progress = args.iter().any(|a| a == "--progress");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_SCALE.json".into());
+    let metrics_out = flag_value("--metrics");
+    let trace_dir = flag_value("--trace");
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create --trace directory");
+    }
 
     let (cells, threads_axis): (Vec<(&str, usize)>, Vec<usize>) = if smoke {
         (vec![("ring", 100_000)], vec![1, 2])
@@ -169,15 +237,26 @@ fn main() {
         )
     };
 
+    let mut progress = want_progress.then(StderrProgress::new);
+    if let Some(p) = progress.as_mut() {
+        p.begin(cells.len() * threads_axis.len());
+    }
+    let mut merged = MetricsSet::new();
     let mut lines = Vec::new();
     let mut failures = 0usize;
+    let mut item = 0usize;
     for &(topology, n) in &cells {
         let g = build(topology, n);
         let mut baseline: Option<Vec<SdrAgreementState>> = None;
         for &threads in &threads_axis {
-            let (r, fingerprint) = run_cell(&g, topology, n, threads);
+            let label = format!("{topology}/n={n}/t={threads}");
+            if let Some(p) = progress.as_mut() {
+                p.item_started(0, item, &label);
+            }
+            let (r, fingerprint, cell_metrics, conflicts) =
+                run_cell(&g, topology, n, threads, trace_dir.as_deref());
             println!(
-                "{:>6} n={:<9} threads={} steps={:<8} {:>10.0} steps/s {:>10.0} moves/s converged={} classes≈{:.1}",
+                "{:>6} n={:<9} threads={} steps={:<8} {:>10.0} steps/s {:>10.0} moves/s converged={} classes≈{:.1} phase s/a/g = {:.2}/{:.2}/{:.2}s",
                 topology,
                 n,
                 threads,
@@ -186,10 +265,16 @@ fn main() {
                 r.moves as f64 / r.seconds.max(1e-9),
                 r.converged,
                 r.conflict_classes_avg,
+                r.phase_select_nanos as f64 / 1e9,
+                r.phase_apply_nanos as f64 / 1e9,
+                r.phase_guards_nanos as f64 / 1e9,
             );
+            println!("         {conflicts}");
+            let mut ok = true;
             if !r.converged {
                 eprintln!("FAIL: {topology} n={n} threads={threads} did not converge");
                 failures += 1;
+                ok = false;
             }
             match &baseline {
                 None => baseline = Some(fingerprint),
@@ -199,15 +284,33 @@ fn main() {
                             "FAIL: {topology} n={n} threads={threads} diverged from sequential"
                         );
                         failures += 1;
+                        ok = false;
                     }
                 }
             }
+            merged.merge(&cell_metrics);
             lines.push(json_escape_free(&r));
+            if let Some(p) = progress.as_mut() {
+                p.item_done(item, &label, ok);
+            }
+            item += 1;
         }
+    }
+    if let Some(p) = progress.as_mut() {
+        p.finish();
+    }
+
+    // Coloring stats of the conflict partitions, via the serde-free
+    // summary pretty-printer (merged over all cells' diagnostics).
+    let snapshot = merged.snapshot();
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, format!("{}\n", snapshot.to_json())).expect("write --metrics file");
+        eprint!("{}", snapshot.render_table());
+        eprintln!("metrics written to {path}");
     }
 
     let doc = format!(
-        "{{\n  \"schema\": \"bench-scale-v1\",\n  \"smoke\": {smoke},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bench-scale-v2\",\n  \"smoke\": {smoke},\n  \"runs\": [\n    {}\n  ]\n}}\n",
         lines.join(",\n    ")
     );
     std::fs::write(&out, &doc).expect("write BENCH_SCALE.json");

@@ -1,0 +1,270 @@
+//! [`ExpCtx`]: the execution context threaded through every experiment
+//! group — worker count plus the observability channels selected on
+//! the `experiments` command line (`--progress`, `--metrics`,
+//! `--trace`).
+//!
+//! The context is shared (`&ExpCtx`) across concurrently-running
+//! scenario closures, so its channels are engineered for that shape:
+//! progress goes through one coarse mutex (per scenario, never per
+//! step), metrics accumulate per measured run and merge under a mutex
+//! once per run, and trace files are independent per scenario. With no
+//! channel enabled every method degrades to the bare engine call —
+//! experiments pay nothing for the seam.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ssr_campaign::obs::scenario_label;
+use ssr_campaign::{engine, Campaign, CampaignObs, Scenario, ScenarioRecord};
+use ssr_obs::metrics::{MetricsSet, MetricsSnapshot};
+use ssr_obs::pipeline::{CompositeSink, PipelineMetrics};
+use ssr_obs::progress::{Progress, StderrProgress};
+use ssr_obs::trace::JsonlSink;
+use ssr_runtime::{Algorithm, Simulator};
+
+/// Execution context for one `experiments` invocation.
+pub struct ExpCtx {
+    threads: usize,
+    progress: bool,
+    metrics: Option<Mutex<MetricsSet>>,
+    /// Whether folded metrics include per-phase wall time
+    /// (nondeterministic values; the default for `--metrics`, since
+    /// phase breakdown is its point).
+    phase_timing: bool,
+    trace_dir: Option<PathBuf>,
+}
+
+impl ExpCtx {
+    /// A context with all observability channels off.
+    pub fn new(threads: usize) -> Self {
+        ExpCtx {
+            threads,
+            progress: false,
+            metrics: None,
+            phase_timing: false,
+            trace_dir: None,
+        }
+    }
+
+    /// Campaign worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Streams per-campaign completion to stderr.
+    #[must_use]
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
+    }
+
+    /// Accumulates pipeline metrics across all experiment groups;
+    /// `timed` additionally folds `phase.*.nanos` wall-time
+    /// histograms.
+    #[must_use]
+    pub fn with_metrics(mut self, timed: bool) -> Self {
+        self.metrics = Some(Mutex::new(MetricsSet::new()));
+        self.phase_timing = timed;
+        self
+    }
+
+    /// Writes per-scenario JSONL traces under
+    /// `dir/<campaign-id>/trace-<index>.jsonl` (deterministic: no
+    /// timing events in the files).
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.trace_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    fn wants_obs(&self) -> bool {
+        self.progress || self.metrics.is_some() || self.trace_dir.is_some()
+    }
+
+    fn campaign_trace_dir(&self, campaign_id: &str) -> Option<PathBuf> {
+        let dir = self.trace_dir.as_ref()?.join(campaign_id);
+        // A directory that cannot be created degrades to "no traces":
+        // observability must never fail the harness.
+        std::fs::create_dir_all(&dir).ok()?;
+        Some(dir)
+    }
+
+    /// Drains `campaign` through the standard registry —
+    /// [`engine::run`] with whatever channels this context enables.
+    pub fn run(&self, campaign: &Campaign) -> Vec<ScenarioRecord> {
+        if !self.wants_obs() {
+            return engine::run(campaign, self.threads);
+        }
+        let mut obs = CampaignObs::new();
+        if self.progress {
+            obs = obs.with_progress(Box::new(StderrProgress::new()));
+        }
+        if self.metrics.is_some() {
+            obs = if self.phase_timing {
+                obs.with_timed_metrics()
+            } else {
+                obs.with_metrics()
+            };
+        }
+        if let Some(dir) = self.campaign_trace_dir(campaign.id()) {
+            obs = obs.with_trace_dir(dir);
+        }
+        let records = engine::run_obs(campaign, self.threads, &mut obs);
+        if let (Some(agg), Some(folded)) = (&self.metrics, obs.take_metrics()) {
+            agg.lock().expect("metrics poisoned").merge(&folded);
+        }
+        records
+    }
+
+    /// Drains `campaign` through a custom runner — [`engine::run_with`]
+    /// plus progress reporting. Runners that drive a [`Simulator`]
+    /// directly attach the per-scenario trace/metrics channels with
+    /// [`ExpCtx::attach`] / [`ExpCtx::collect`].
+    pub fn run_with<R, F>(&self, campaign: &Campaign, runner: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Scenario) -> R + Sync,
+    {
+        if !self.progress {
+            return engine::run_with(campaign, self.threads, runner);
+        }
+        let mut reporter = StderrProgress::new();
+        reporter.begin(campaign.len());
+        let progress = Mutex::new(&mut reporter);
+        let out = engine::run_with(campaign, self.threads, |sc| {
+            let index = sc.index;
+            let label = scenario_label(&sc);
+            let r = runner(sc);
+            progress
+                .lock()
+                .expect("progress poisoned")
+                .item_done(index, &label, true);
+            r
+        });
+        reporter.finish();
+        out
+    }
+
+    /// Installs this context's trace/metrics channels on a directly
+    /// driven simulator, for scenario `index` of `campaign_id`. Pair
+    /// with [`ExpCtx::collect`] after the measured execution.
+    pub fn attach<A: Algorithm>(
+        &self,
+        campaign_id: &str,
+        index: usize,
+        sim: &mut Simulator<'_, A>,
+    ) {
+        let metrics = self.metrics.as_ref().map(|_| {
+            if self.phase_timing {
+                PipelineMetrics::new()
+            } else {
+                PipelineMetrics::without_timing()
+            }
+        });
+        let file = self
+            .campaign_trace_dir(campaign_id)
+            .and_then(|dir| JsonlSink::create(dir.join(format!("trace-{index:05}.jsonl"))).ok());
+        let sink = CompositeSink::new(metrics, file);
+        if !sink.is_empty() {
+            sim.set_trace_sink(Box::new(sink));
+        }
+    }
+
+    /// Recovers the sink installed by [`ExpCtx::attach`] and folds its
+    /// metrics into the context aggregate. No-op when nothing was
+    /// attached.
+    pub fn collect<A: Algorithm>(&self, sim: &mut Simulator<'_, A>) {
+        let Some(mut sink) = sim.take_trace_sink() else {
+            return;
+        };
+        sink.flush();
+        let Some(composite) = sink
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<CompositeSink>())
+        else {
+            return;
+        };
+        if let (Some(folded), Some(agg)) = (composite.take_metrics(), &self.metrics) {
+            agg.lock().expect("metrics poisoned").merge(&folded);
+        }
+    }
+
+    /// The merged metrics accumulated so far (`None` when `--metrics`
+    /// is off).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics
+            .as_ref()
+            .map(|m| m.lock().expect("metrics poisoned").snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_campaign::{families, InitPlan, TopologySpec};
+    use ssr_runtime::Daemon;
+
+    fn tiny(id: &str) -> Campaign {
+        Campaign::new(id)
+            .topologies(vec![TopologySpec::Ring])
+            .sizes(vec![8])
+            .algorithms(vec![families::unison_sdr()])
+            .daemons(vec![Daemon::Central])
+            .inits(vec![InitPlan::Arbitrary])
+            .trials(2)
+            .step_cap(500_000)
+    }
+
+    #[test]
+    fn bare_context_matches_the_engine() {
+        let c = tiny("ctx-bare");
+        let ctx = ExpCtx::new(2);
+        assert_eq!(ctx.run(&c), engine::run(&c, 2));
+        assert_eq!(ctx.metrics_snapshot(), None);
+    }
+
+    #[test]
+    fn metrics_context_aggregates_without_changing_records() {
+        let c = tiny("ctx-metrics");
+        let ctx = ExpCtx::new(2).with_metrics(false);
+        let records = ctx.run(&c);
+        assert_eq!(records, engine::run(&c, 2));
+        let snap = ctx.metrics_snapshot().unwrap();
+        assert!(snap.get("pipeline.steps").is_some(), "{}", snap.to_json());
+        // A second campaign folds into the same aggregate.
+        let more = tiny("ctx-metrics-2");
+        ctx.run(&more);
+        let grown = ctx.metrics_snapshot().unwrap();
+        let steps = |s: &MetricsSnapshot| match s.get("pipeline.steps") {
+            Some(ssr_obs::metrics::Metric::Counter(v)) => *v,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(steps(&grown) > steps(&snap));
+    }
+
+    #[test]
+    fn attach_collect_round_trip_on_a_direct_simulator() {
+        use ssr_core::{toys::Agreement, Sdr};
+        use ssr_graph::generators;
+
+        let dir = std::env::temp_dir().join(format!("ssr-ctx-test-{}", std::process::id()));
+        let ctx = ExpCtx::new(1).with_metrics(false).with_trace_dir(&dir);
+        let g = generators::ring(8);
+        let algo = Sdr::new(Agreement::new(4));
+        let init = algo.arbitrary_config(&g, 1);
+        let mut sim = Simulator::new(&g, algo, init, Daemon::Central, 2);
+        ctx.attach("direct", 0, &mut sim);
+        assert!(sim.has_trace_sink());
+        sim.execution().cap(100_000).run();
+        ctx.collect(&mut sim);
+        assert!(!sim.has_trace_sink());
+        let snap = ctx.metrics_snapshot().unwrap();
+        assert!(snap.get("pipeline.steps").is_some());
+        let trace = dir.join("direct").join("trace-00000.jsonl");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        for line in text.lines() {
+            ssr_obs::trace::validate_jsonl_line(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

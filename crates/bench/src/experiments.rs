@@ -15,8 +15,8 @@ use ssr_alliance::verify::AllianceObserver;
 use ssr_alliance::{fga_sdr, verify};
 use ssr_baselines::{CfgUnison, MonoReset, MonoState, Phase};
 use ssr_campaign::{
-    engine, families, run_scenario, warm_up_and_corrupt_clocks, Amount, Campaign, InitPlan,
-    PresetSpec, ScenarioRecord, TopologySpec, Verdict,
+    families, run_scenario, warm_up_and_corrupt_clocks, Amount, Campaign, InitPlan, PresetSpec,
+    ScenarioRecord, TopologySpec, Verdict,
 };
 use ssr_core::{alive_roots, toys::Agreement, Sdr, SegmentObserver, Standalone};
 use ssr_explore::campaign::{explore_scenario, stochastic_max, ScenarioExploreOptions};
@@ -26,6 +26,7 @@ use ssr_runtime::rng::Xoshiro256StarStar;
 use ssr_runtime::{Daemon, Simulator, TerminationReason};
 use ssr_unison::{spec, unison_sdr, Unison};
 
+use crate::ctx::ExpCtx;
 use crate::workloads::daemon_suite;
 
 /// Sweep profile: `Quick` for tests, `Full` for the release harness.
@@ -142,7 +143,7 @@ fn max_of(records: &[&ScenarioRecord], f: impl Fn(&ScenarioRecord) -> u64) -> u6
 /// E1 + E2 — Corollaries 4 and 5: pure SDR (over the rule-less
 /// [`Agreement`] input) recovers within `3n` rounds, each process
 /// spending at most `3n + 3` SDR moves.
-pub fn e1_e2_sdr_bounds(p: Profile, threads: usize) -> ExpResult {
+pub fn e1_e2_sdr_bounds(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let campaign = Campaign::new("e1e2-sdr-bounds")
         .topologies(exp_topologies())
         .sizes(p.sizes())
@@ -152,7 +153,7 @@ pub fn e1_e2_sdr_bounds(p: Profile, threads: usize) -> ExpResult {
         .trials(p.trials())
         .step_cap(p.step_cap())
         .seed(0x5D2_E1E2);
-    let records = engine::run(&campaign, threads);
+    let records = ctx.run(&campaign);
     let mut table = Table::new([
         "topology",
         "n",
@@ -216,7 +217,7 @@ struct E3Row {
 
 /// E3 — Theorem 3 / Remark 5 / Corollary 3: alive roots never created,
 /// ≤ n+1 segments, per-segment rule language respected.
-pub fn e3_segments(p: Profile, threads: usize) -> ExpResult {
+pub fn e3_segments(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let campaign = Campaign::new("e3-segments")
         .topologies(exp_topologies())
         .sizes(p.sizes())
@@ -226,7 +227,7 @@ pub fn e3_segments(p: Profile, threads: usize) -> ExpResult {
         .trials(1)
         .step_cap(p.step_cap())
         .seed(0xE3_000);
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let [graph_seed, init_seed, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let sdr = Sdr::new(Agreement::new(6));
@@ -234,7 +235,9 @@ pub fn e3_segments(p: Profile, threads: usize) -> ExpResult {
         let roots0 = alive_roots(&sdr, &g, &init).len();
         let mut probe = SegmentObserver::new(&sdr, &g, &init);
         let mut sim = Simulator::new(&g, sdr, init, sc.daemon.clone(), sim_seed);
+        ctx.attach("e3-segments", sc.index, &mut sim);
         sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        ctx.collect(&mut sim);
         let report = probe.report();
         E3Row {
             topology: sc.topology.label(),
@@ -295,7 +298,7 @@ pub fn e3_segments(p: Profile, threads: usize) -> ExpResult {
 /// E4 + E5 — Theorems 6 and 7, with the CFG baseline comparison: the
 /// SDR-based unison stabilizes in ≤ 3n rounds and O(D·n²) moves, and
 /// beats uncoordinated local resets on moves with a widening gap.
-pub fn e4_e5_unison(p: Profile, threads: usize) -> ExpResult {
+pub fn e4_e5_unison(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let campaign = Campaign::new("e4e5-unison")
         .topologies(exp_topologies())
         .sizes(p.sizes())
@@ -305,7 +308,7 @@ pub fn e4_e5_unison(p: Profile, threads: usize) -> ExpResult {
         .trials(p.trials())
         .step_cap(p.step_cap())
         .seed(0xE45);
-    let records = engine::run(&campaign, threads);
+    let records = ctx.run(&campaign);
     let mut table = Table::new([
         "topology",
         "n",
@@ -407,7 +410,7 @@ struct E6Row {
 
 /// E6 — the unison specification holds after stabilization (Cor. 7,
 /// Lem. 19): safety at every instant, liveness as minimum increments.
-pub fn e6_unison_spec(p: Profile, threads: usize) -> ExpResult {
+pub fn e6_unison_spec(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let campaign = Campaign::new("e6-unison-spec")
         .topologies(exp_topologies())
         .sizes(p.small_sizes())
@@ -417,13 +420,14 @@ pub fn e6_unison_spec(p: Profile, threads: usize) -> ExpResult {
         .trials(1)
         .step_cap(p.step_cap())
         .seed(0xE6_00);
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let [graph_seed, init_seed, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let algo = unison_sdr(Unison::for_graph(&g));
         let init = algo.arbitrary_config(&g, init_seed);
         let check = unison_sdr(Unison::for_graph(&g));
         let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
+        ctx.attach("e6-unison-spec", sc.index, &mut sim);
         let out = sim
             .execution()
             .cap(sc.step_cap)
@@ -434,6 +438,7 @@ pub fn e6_unison_spec(p: Profile, threads: usize) -> ExpResult {
         let mut probe = spec::SpecObserver::watching(&sim);
         let window = 200 * g.node_count() as u64;
         sim.execution().cap(window).observe(&mut probe).run();
+        ctx.collect(&mut sim);
         E6Row {
             topology: sc.topology.label(),
             n: sc.n,
@@ -496,7 +501,7 @@ struct FgaRow {
 }
 
 /// E7 — Theorems 9/10, Corollaries 11/12: standalone FGA from γ_init.
-pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
+pub fn e7_fga_standalone(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let campaign = Campaign::new("e7-fga-standalone")
         .topologies(exp_topologies())
         .sizes(p.small_sizes())
@@ -511,7 +516,7 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
         .trials(1)
         .step_cap(p.step_cap())
         .seed(0xE7_00);
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let preset = sc
             .algorithm
             .params_str()
@@ -524,7 +529,9 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
         let alg = Standalone::new(fga);
         let init = alg.initial_config(&g);
         let mut sim = Simulator::new(&g, alg, init, sc.daemon.clone(), sim_seed);
+        ctx.attach("e7-fga-standalone", sc.index, &mut sim);
         let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        ctx.collect(&mut sim);
         let v = probe.into_verdict().expect("sampled at run end");
         Some(FgaRow {
             topology: sc.topology.label(),
@@ -607,7 +614,7 @@ pub fn e7_fga_standalone(p: Profile, threads: usize) -> ExpResult {
 
 /// E8 (+E12) — Theorems 11–14: FGA ∘ SDR is silent, self-stabilizing,
 /// within the round/move bounds.
-pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
+pub fn e8_fga_sdr(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let campaign = Campaign::new("e8-fga-sdr")
         .topologies(exp_topologies())
         .sizes(p.small_sizes())
@@ -617,7 +624,7 @@ pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
         .trials(p.trials())
         .step_cap(p.step_cap())
         .seed(0xE8_00);
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let [graph_seed, init_seed, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let fga = PresetSpec::Domination
@@ -627,7 +634,9 @@ pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
         let algo = fga_sdr(fga);
         let init = algo.arbitrary_config(&g, init_seed);
         let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
+        ctx.attach("e8-fga-sdr", sc.index, &mut sim);
         let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        ctx.collect(&mut sim);
         let v = probe.into_verdict().expect("sampled at run end");
         FgaRow {
             topology: sc.topology.label(),
@@ -718,7 +727,7 @@ pub fn e8_fga_sdr(p: Profile, threads: usize) -> ExpResult {
 
 /// E9 — the six classical reductions of §6.1, verified against their
 /// own definitions.
-pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
+pub fn e9_presets(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let n = match p {
         Profile::Quick => 9,
         Profile::Full => 16,
@@ -752,7 +761,7 @@ pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
         rounds: u64,
         moves: u64,
     }
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let preset = sc
             .algorithm
             .params_str()
@@ -765,7 +774,9 @@ pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
         let algo = fga_sdr(fga);
         let init = algo.arbitrary_config(&g, init_seed);
         let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
+        ctx.attach("e9-presets", sc.index, &mut sim);
         let out = sim.execution().cap(sc.step_cap).observe(&mut probe).run();
+        ctx.collect(&mut sim);
         let v = probe.into_verdict().expect("sampled at run end");
         let classical = match preset {
             PresetSpec::Domination => verify::is_dominating_set(&g, &v.members),
@@ -826,7 +837,7 @@ pub fn e9_presets(p: Profile, threads: usize) -> ExpResult {
 
 /// E10 — the cooperation ablation: coordinated resets (`U ∘ SDR`) vs
 /// uncoordinated local resets (CFG) on tear workloads.
-pub fn e10_ablation(p: Profile, threads: usize) -> ExpResult {
+pub fn e10_ablation(p: Profile, ctx: &ExpCtx) -> ExpResult {
     // Separate, smaller cap for the baseline: it can burn 5+ orders of
     // magnitude more moves than SDR here, and blowing the cap is a
     // *finding*, not a failure.
@@ -849,7 +860,7 @@ pub fn e10_ablation(p: Profile, threads: usize) -> ExpResult {
         .trials(1)
         .step_cap(p.step_cap())
         .seed(0xE10);
-    let records = engine::run_with(&campaign, threads, |mut sc| {
+    let records = ctx.run_with(&campaign, |mut sc| {
         if sc.algorithm == families::cfg_unison() {
             sc.step_cap = baseline_cap;
         }
@@ -949,7 +960,7 @@ struct E11Row {
 /// E11 — transient-fault recovery: corrupt `k` clocks of a legitimate
 /// system, measure recovery; three-way comparison SDR / CFG / mono-
 /// initiator reset.
-pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
+pub fn e11_faults(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let n = match p {
         Profile::Quick => 12,
         Profile::Full => 32,
@@ -974,7 +985,7 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
         .trials(1)
         .step_cap(p.step_cap())
         .seed(0xE11);
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let [graph_seed, _, sim_seed, _] = sc.seeds::<4>();
         let g = sc.topology.build(sc.n, graph_seed);
         let nn = g.node_count() as u64;
@@ -994,11 +1005,13 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                 let mut sim = Simulator::new(&g, algo, init, sc.daemon.clone(), sim_seed);
                 let mut rng = Xoshiro256StarStar::seed_from_u64(fault_seed);
                 warm_up_and_corrupt_clocks(&mut sim, k, period, &mut rng);
+                ctx.attach("e11-faults-sdr", sc.index, &mut sim);
                 let out = sim
                     .execution()
                     .cap(sc.step_cap)
                     .until(|gr, st| check.is_normal_config(gr, st))
                     .run();
+                ctx.collect(&mut sim);
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
             "cfg-unison" => {
@@ -1011,11 +1024,13 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                     r.below(k_cfg)
                 });
                 sim.reset_stats();
+                ctx.attach("e11-faults-cfg", sc.index, &mut sim);
                 let out = sim
                     .execution()
                     .cap(sc.step_cap)
                     .until(|gr, st| spec::safety_holds(gr, st, k_cfg))
                     .run();
+                ctx.collect(&mut sim);
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
             "mono-reset" => {
@@ -1031,11 +1046,13 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
                     }
                 });
                 sim.reset_stats();
+                ctx.attach("e11-faults-mono", sc.index, &mut sim);
                 let out = sim
                     .execution()
                     .cap(sc.step_cap)
                     .until(|gr, st| check.is_normal_config(gr, st))
                     .run();
+                ctx.collect(&mut sim);
                 (out.reached, out.rounds_at_hit, out.moves_at_hit)
             }
             _ => unreachable!("algorithm axis holds the three unison systems"),
@@ -1104,7 +1121,7 @@ pub fn e11_faults(p: Profile, threads: usize) -> ExpResult {
 /// closed-form bounds, dominate the stochastic campaign maxima over
 /// the same initial configurations, and come with witness schedules
 /// that replay byte-identically through `Execution`.
-pub fn e13_exhaustive(p: Profile, threads: usize) -> ExpResult {
+pub fn e13_exhaustive(p: Profile, ctx: &ExpCtx) -> ExpResult {
     let sizes = match p {
         Profile::Quick => vec![4, 5],
         Profile::Full => vec![4, 5, 6],
@@ -1133,7 +1150,7 @@ pub fn e13_exhaustive(p: Profile, threads: usize) -> ExpResult {
     // sequential (the determinism property of the explorer itself is
     // pinned by its own tests).
     let opts = ScenarioExploreOptions::default();
-    let rows = engine::run_with(&campaign, threads, |sc| {
+    let rows = ctx.run_with(&campaign, |sc| {
         let exact = explore_scenario(&sc, &opts)?;
         let stoch = stochastic_max(&sc, &opts)?;
         Some((exact, stoch))
@@ -1209,8 +1226,8 @@ pub struct ExpEntry {
     /// Registry keys of the families this group selects through the
     /// standard registry (what `--algorithms` filters on).
     pub families: &'static [&'static str],
-    /// Computes the group on `threads` workers.
-    pub run: fn(Profile, usize) -> ExpResult,
+    /// Computes the group under an execution context.
+    pub run: fn(Profile, &ExpCtx) -> ExpResult,
 }
 
 impl ExpEntry {
@@ -1290,8 +1307,8 @@ pub fn catalog() -> Vec<ExpEntry> {
 }
 
 /// Runs every experiment group in catalog order.
-pub fn all(p: Profile, threads: usize) -> Vec<ExpResult> {
-    catalog().into_iter().map(|e| (e.run)(p, threads)).collect()
+pub fn all(p: Profile, ctx: &ExpCtx) -> Vec<ExpResult> {
+    catalog().into_iter().map(|e| (e.run)(p, ctx)).collect()
 }
 
 /// One experiment's report exactly as the `experiments` binary prints
@@ -1388,9 +1405,13 @@ pub fn results_json(
 mod tests {
     use super::*;
 
+    fn ctx(threads: usize) -> ExpCtx {
+        ExpCtx::new(threads)
+    }
+
     #[test]
     fn e1_e2_quick_pass() {
-        let r = e1_e2_sdr_bounds(Profile::Quick, 2);
+        let r = e1_e2_sdr_bounds(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E1+E2");
         assert!(r.pass, "{}", r.table);
         assert!(r.kpi.bound > 0 && !r.kpi.sizes.is_empty());
@@ -1398,63 +1419,63 @@ mod tests {
 
     #[test]
     fn e3_quick_pass() {
-        let r = e3_segments(Profile::Quick, 2);
+        let r = e3_segments(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E3");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e4_e5_quick_pass() {
-        let r = e4_e5_unison(Profile::Quick, 2);
+        let r = e4_e5_unison(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E4+E5");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e6_quick_pass() {
-        let r = e6_unison_spec(Profile::Quick, 2);
+        let r = e6_unison_spec(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E6");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e7_quick_pass() {
-        let r = e7_fga_standalone(Profile::Quick, 2);
+        let r = e7_fga_standalone(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E7");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e8_quick_pass() {
-        let r = e8_fga_sdr(Profile::Quick, 2);
+        let r = e8_fga_sdr(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E8+E12");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e9_quick_pass() {
-        let r = e9_presets(Profile::Quick, 2);
+        let r = e9_presets(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E9");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e10_quick_pass() {
-        let r = e10_ablation(Profile::Quick, 2);
+        let r = e10_ablation(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E10");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e11_quick_pass() {
-        let r = e11_faults(Profile::Quick, 2);
+        let r = e11_faults(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E11");
         assert!(r.pass, "{}", r.table);
     }
 
     #[test]
     fn e13_quick_pass() {
-        let r = e13_exhaustive(Profile::Quick, 2);
+        let r = e13_exhaustive(Profile::Quick, &ctx(2));
         assert_eq!(r.id, "E13");
         assert!(r.pass, "{}", r.table);
         assert!(r.kpi.bound > 0);
@@ -1476,8 +1497,8 @@ mod tests {
     #[test]
     fn experiments_are_thread_invariant() {
         for run in [e1_e2_sdr_bounds, e10_ablation, e11_faults, e13_exhaustive] {
-            let a = run(Profile::Quick, 1);
-            let b = run(Profile::Quick, 4);
+            let a = run(Profile::Quick, &ctx(1));
+            let b = run(Profile::Quick, &ctx(4));
             assert_eq!(a.table.to_string(), b.table.to_string());
             assert_eq!(a.pass, b.pass);
             assert_eq!(a.notes, b.notes);

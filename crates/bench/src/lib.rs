@@ -14,7 +14,9 @@
 //! profiles: `quick` (small sizes, used by `cargo test`) and full
 //! (`cargo run -p ssr-bench --bin experiments --release`).
 
+pub mod ctx;
 pub mod experiments;
 pub mod workloads;
 
+pub use ctx::ExpCtx;
 pub use experiments::{ExpEntry, ExpKpi, ExpResult, Profile};

@@ -19,6 +19,7 @@
 //! goldens with the commands in each constant's doc and say so in the
 //! PR.
 
+use ssr_bench::ctx::ExpCtx;
 use ssr_bench::experiments::{self, Profile};
 use ssr_campaign::{
     engine, families, output, Amount, Campaign, InitPlan, PresetSpec, TopologySpec,
@@ -88,7 +89,7 @@ fn campaign_jsonl_and_csv_are_byte_identical_pre_and_post_redesign() {
 #[test]
 fn quick_experiment_tables_and_results_are_byte_identical() {
     for threads in [1, 4] {
-        let results = experiments::all(Profile::Quick, threads);
+        let results = experiments::all(Profile::Quick, &ExpCtx::new(threads));
         let mut rendered = String::new();
         for r in &results {
             rendered.push_str(&experiments::render_result(r));

@@ -14,10 +14,14 @@
 //! The property test in `tests/determinism.rs` pins this down.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use ssr_obs::metrics::MetricsSet;
+use ssr_obs::progress::Progress;
 use ssr_runtime::family::FamilyRegistry;
 
 use crate::grid::Campaign;
+use crate::obs::{scenario_label, CampaignObs, ObsProbe};
 use crate::runner::{self, ScenarioRecord};
 use crate::scenario::Scenario;
 
@@ -89,6 +93,108 @@ pub fn run_in(
     let mut records = run_with(campaign, threads, |sc| {
         runner::run_scenario_in(registry, sc)
     });
+    for rec in &mut records {
+        rec.campaign = campaign.id().to_string();
+    }
+    records
+}
+
+/// [`run`] with observability channels attached: live progress,
+/// merged pipeline metrics, and per-scenario trace files, per
+/// whatever `obs` enables. Records are identical to a bare [`run`] —
+/// the channels observe, they never steer.
+pub fn run_obs(campaign: &Campaign, threads: usize, obs: &mut CampaignObs) -> Vec<ScenarioRecord> {
+    run_in_obs(crate::families::default_registry(), campaign, threads, obs)
+}
+
+/// [`run_obs`] against a caller-supplied registry.
+///
+/// Scheduling of the side channels: progress notifications go through
+/// one mutex (coarse, per scenario — never per step); each worker owns
+/// a private [`MetricsSet`] and submits it to the hub once, on
+/// retirement, so the metrics hot path takes no lock at all.
+pub fn run_in_obs(
+    registry: &FamilyRegistry,
+    campaign: &Campaign,
+    threads: usize,
+    obs: &mut CampaignObs,
+) -> Vec<ScenarioRecord> {
+    let total = campaign.len();
+    if let Some(p) = obs.progress.as_deref_mut() {
+        p.begin(total);
+    }
+    let mut records = if total == 0 {
+        Vec::new()
+    } else {
+        let workers = threads.clamp(1, total);
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let wants_probe = obs.wants_probe();
+        let phase_timing = obs.phase_timing;
+        let trace_dir = obs.trace_dir.clone();
+        let trace_dir = &trace_dir;
+        let hub = obs.metrics.as_ref();
+        let progress: Mutex<Option<&mut dyn Progress>> = Mutex::new(obs.progress.as_deref_mut());
+        let progress = &progress;
+        let mut slots: Vec<Option<ScenarioRecord>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local = hub.map(|_| MetricsSet::new());
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let sc = campaign.scenario(i);
+                            let label = scenario_label(&sc);
+                            if let Some(p) = progress.lock().unwrap().as_deref_mut() {
+                                p.item_started(w, i, &label);
+                            }
+                            let rec = if wants_probe {
+                                let path = trace_dir
+                                    .as_ref()
+                                    .map(|d| d.join(format!("trace-{i:05}.jsonl")));
+                                let mut probe = ObsProbe::new(local.as_mut(), path, phase_timing);
+                                runner::run_scenario_probed(registry, sc, Some(&mut probe))
+                            } else {
+                                runner::run_scenario_in(registry, sc)
+                            };
+                            if let Some(m) = local.as_mut() {
+                                m.inc("campaign.scenarios", 1);
+                                if !rec.verdict.ok() {
+                                    m.inc("campaign.failed", 1);
+                                }
+                            }
+                            if let Some(p) = progress.lock().unwrap().as_deref_mut() {
+                                p.item_done(i, &label, rec.verdict.ok());
+                            }
+                            done.push((i, rec));
+                        }
+                        if let (Some(hub), Some(local)) = (hub, local) {
+                            hub.submit(&local);
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("campaign worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every scenario index was drained"))
+            .collect()
+    };
+    if let Some(p) = obs.progress.as_deref_mut() {
+        p.finish();
+    }
     for rec in &mut records {
         rec.campaign = campaign.id().to_string();
     }

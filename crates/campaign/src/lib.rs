@@ -43,6 +43,7 @@
 pub mod engine;
 pub mod families;
 mod grid;
+pub mod obs;
 pub mod output;
 mod runner;
 mod scenario;
@@ -50,8 +51,10 @@ pub mod stats;
 pub mod workloads;
 
 pub use grid::Campaign;
+pub use obs::CampaignObs;
 pub use runner::{
-    run_scenario, run_scenario_in, warm_up_and_corrupt_clocks, ScenarioRecord, Verdict,
+    run_scenario, run_scenario_in, run_scenario_probed, warm_up_and_corrupt_clocks, ScenarioRecord,
+    Verdict,
 };
 pub use scenario::{AlgorithmSpec, Amount, InitPlan, Params, PresetSpec, Scenario, TopologySpec};
 

@@ -23,7 +23,7 @@
 //! on `Family::run` itself.
 
 use ssr_graph::{metrics, Graph};
-use ssr_runtime::family::{ExecBudget, FamilyRegistry, FamilyRunOutcome, RunSeeds};
+use ssr_runtime::family::{ExecBudget, FamilyProbe, FamilyRegistry, FamilyRunOutcome, RunSeeds};
 use ssr_runtime::TerminationReason;
 
 use crate::families;
@@ -145,6 +145,19 @@ pub fn run_scenario(sc: Scenario) -> ScenarioRecord {
 /// own `run`. Unresolvable or non-instantiable scenarios come back
 /// with [`Verdict::Skip`].
 pub fn run_scenario_in(registry: &FamilyRegistry, sc: Scenario) -> ScenarioRecord {
+    run_scenario_probed(registry, sc, None)
+}
+
+/// [`run_scenario_in`] with a [`FamilyProbe`] threaded through to the
+/// family's measured execution — how the observability layer
+/// ([`crate::obs`]) attaches trace sinks and metrics without touching
+/// the record. The record is identical to the probe-less run: probes
+/// observe, they never steer.
+pub fn run_scenario_probed(
+    registry: &FamilyRegistry,
+    sc: Scenario,
+    probe: Option<&mut dyn FamilyProbe>,
+) -> ScenarioRecord {
     let [graph_seed, init_seed, sim_seed, fault_seed] = sc.seeds::<4>();
     let g = sc.topology.build(sc.n, graph_seed);
     let mut rec = ScenarioRecord::skeleton(&sc, &g);
@@ -164,7 +177,7 @@ pub fn run_scenario_in(registry: &FamilyRegistry, sc: Scenario) -> ScenarioRecor
             fault: fault_seed,
         },
         ExecBudget::steps(sc.step_cap).with_intra_threads(sc.intra_threads),
-        None,
+        probe,
     );
     rec.apply(&out);
     rec

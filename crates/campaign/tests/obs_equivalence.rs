@@ -1,0 +1,128 @@
+//! Observability never steers: campaign records with every obs channel
+//! enabled are identical to a bare run, and the merged metrics
+//! snapshot is deterministic across thread counts.
+
+use std::path::PathBuf;
+
+use ssr_campaign::{engine, families, Campaign, CampaignObs, TopologySpec};
+use ssr_obs::progress::{JsonlProgress, Progress};
+use ssr_obs::trace::validate_jsonl_line;
+use ssr_runtime::Daemon;
+
+fn tiny() -> Campaign {
+    Campaign::new("obs-equivalence")
+        .topologies(vec![TopologySpec::Ring, TopologySpec::Star])
+        .sizes(vec![6, 8])
+        .algorithms(vec![families::unison_sdr(), families::sdr_agreement(4)])
+        .daemons(vec![Daemon::Central, Daemon::Synchronous])
+        .trials(1)
+        .step_cap(500_000)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ssr-obs-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn obs_channels_do_not_change_records() {
+    let c = tiny();
+    let bare = engine::run(&c, 2);
+
+    let dir = scratch_dir("records");
+    let mut obs = CampaignObs::new()
+        .with_metrics()
+        .with_trace_dir(&dir)
+        .with_progress(Box::new(JsonlProgress::new(std::io::sink())));
+    let observed = engine::run_obs(&c, 2, &mut obs);
+    assert_eq!(bare, observed, "obs channels must be read-only");
+
+    // Every scenario left a validating trace file behind.
+    for i in 0..c.len() {
+        let path = obs.trace_path(i).unwrap();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing trace {path:?}: {e}"));
+        for line in text.lines() {
+            validate_jsonl_line(line).unwrap_or_else(|err| panic!("{path:?}: {err}"));
+        }
+        assert!(
+            text.lines()
+                .last()
+                .unwrap()
+                .contains("\"event\":\"run-ended\""),
+            "trace {path:?} must close with run-ended"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merged_metrics_are_deterministic_across_thread_counts() {
+    let c = tiny();
+    let snapshot_at = |threads: usize| {
+        let mut obs = CampaignObs::new().with_metrics();
+        engine::run_obs(&c, threads, &mut obs);
+        obs.metrics_snapshot().unwrap().to_json()
+    };
+    let seq = snapshot_at(1);
+    assert!(seq.contains("\"schema\":\"ssr-metrics-v1\""));
+    assert!(seq.contains("pipeline.steps"));
+    assert!(seq.contains("campaign.scenarios"));
+    for threads in [2, 4] {
+        assert_eq!(seq, snapshot_at(threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn progress_sees_every_scenario_exactly_once() {
+    #[derive(Default)]
+    struct CountingProgress {
+        begun: Option<usize>,
+        done: Vec<usize>,
+        finished: bool,
+    }
+    impl Progress for CountingProgress {
+        fn begin(&mut self, total: usize) {
+            self.begun = Some(total);
+        }
+        fn item_done(&mut self, index: usize, _label: &str, ok: bool) {
+            assert!(ok);
+            self.done.push(index);
+        }
+        fn finish(&mut self) {
+            self.finished = true;
+        }
+    }
+
+    // `run_obs` owns the reporter; recover it through a shared cell.
+    use std::sync::{Arc, Mutex};
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<CountingProgress>>);
+    impl Progress for Shared {
+        fn begin(&mut self, total: usize) {
+            self.0.lock().unwrap().begin(total);
+        }
+        fn item_done(&mut self, index: usize, label: &str, ok: bool) {
+            self.0.lock().unwrap().item_done(index, label, ok);
+        }
+        fn finish(&mut self) {
+            self.0.lock().unwrap().finish();
+        }
+    }
+
+    let c = tiny();
+    let shared = Shared::default();
+    let mut obs = CampaignObs::new().with_progress(Box::new(shared.clone()));
+    engine::run_obs(&c, 3, &mut obs);
+    let inner = shared.0.lock().unwrap();
+    assert_eq!(inner.begun, Some(c.len()));
+    assert!(inner.finished);
+    let mut done = inner.done.clone();
+    done.sort_unstable();
+    assert_eq!(done, (0..c.len()).collect::<Vec<_>>());
+}

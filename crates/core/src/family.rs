@@ -171,6 +171,7 @@ where
         let check = self.instantiate(graph);
         let mut bridge = ProbeBridge::new(probe);
         let mut sim = Simulator::new(graph, sdr, init, daemon.clone(), seeds.sim);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -178,6 +179,7 @@ where
             .observe(&mut bridge)
             .until(|gr, st| check.is_normal_config(gr, st))
             .run();
+        bridge.collect_trace(&mut sim);
         let pp = max_sdr_moves_per_process(graph, sim.stats(), rc);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = pp;

@@ -1,0 +1,327 @@
+//! Live campaign progress: scenario completion counts, ETA, and
+//! per-worker state, streamed to stderr or a JSONL file.
+//!
+//! A [`Progress`] implementation is driven by the campaign worker pool
+//! (behind a mutex — progress is inherently a shared, rate-limited
+//! side channel, not a per-step hot path). [`StderrProgress`] renders
+//! a human one-liner; [`JsonlProgress`] appends machine-readable
+//! records for dashboards and post-hoc analysis.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::metrics::json_string;
+
+/// Receives campaign life-cycle notifications.
+///
+/// Call order: one `begin`, then interleaved `item_started` /
+/// `item_done` (from the pool's dispatch loop, already serialized),
+/// then one `finish`. Implementations must tolerate `item_started`
+/// being skipped (sequential drivers may only report completions).
+pub trait Progress: Send {
+    /// The campaign is starting with `total` work items.
+    fn begin(&mut self, total: usize) {
+        let _ = total;
+    }
+
+    /// Worker `worker` picked up item `index`.
+    fn item_started(&mut self, worker: usize, index: usize, label: &str) {
+        let _ = (worker, index, label);
+    }
+
+    /// Item `index` finished; `ok` is false when the scenario reported
+    /// a property violation or error.
+    fn item_done(&mut self, index: usize, label: &str, ok: bool) {
+        let _ = (index, label, ok);
+    }
+
+    /// The campaign is over; flush anything buffered.
+    fn finish(&mut self) {}
+}
+
+/// The zero-cost default: every notification is a no-op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoProgress;
+
+impl Progress for NoProgress {}
+
+/// Renders `done/total`, percent, elapsed, ETA, and the busy workers'
+/// current labels as a single stderr line per (rate-limited) update.
+#[derive(Debug)]
+pub struct StderrProgress {
+    total: usize,
+    done: usize,
+    failed: usize,
+    started: Option<Instant>,
+    last_print: Option<Instant>,
+    /// What each worker is currently running (None = idle).
+    workers: Vec<Option<String>>,
+    /// Minimum gap between printed updates (the final one always
+    /// prints).
+    min_interval: Duration,
+}
+
+impl StderrProgress {
+    /// A reporter printing at most ~5 updates per second.
+    pub fn new() -> Self {
+        StderrProgress {
+            total: 0,
+            done: 0,
+            failed: 0,
+            started: None,
+            last_print: None,
+            workers: Vec::new(),
+            min_interval: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the update rate limit (tests use zero).
+    #[must_use]
+    pub fn with_min_interval(mut self, min_interval: Duration) -> Self {
+        self.min_interval = min_interval;
+        self
+    }
+
+    /// Completed item count.
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// Items that finished not-ok.
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// The line body (without the leading `\r`): exposed for tests.
+    pub fn render_line(&self) -> String {
+        let pct = if self.total > 0 {
+            100.0 * self.done as f64 / self.total as f64
+        } else {
+            0.0
+        };
+        let elapsed = self
+            .started
+            .map(|t| t.elapsed())
+            .unwrap_or_default()
+            .as_secs_f64();
+        let eta = if self.done > 0 && self.done < self.total {
+            let per_item = elapsed / self.done as f64;
+            format!(", eta {:.0}s", per_item * (self.total - self.done) as f64)
+        } else {
+            String::new()
+        };
+        let busy: Vec<&str> = self.workers.iter().filter_map(|w| w.as_deref()).collect();
+        let mut line = format!(
+            "campaign {}/{} ({pct:.0}%), {:.1}s elapsed{eta}",
+            self.done, self.total, elapsed
+        );
+        if self.failed > 0 {
+            line.push_str(&format!(", {} failed", self.failed));
+        }
+        if !busy.is_empty() {
+            line.push_str(&format!(" | running: {}", busy.join(", ")));
+        }
+        line
+    }
+
+    fn print(&mut self, force: bool) {
+        let due = match self.last_print {
+            None => true,
+            Some(t) => t.elapsed() >= self.min_interval,
+        };
+        if !(force || due) {
+            return;
+        }
+        self.last_print = Some(Instant::now());
+        eprint!("\r\x1b[2K{}", self.render_line());
+        let _ = std::io::stderr().flush();
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        StderrProgress::new()
+    }
+}
+
+impl Progress for StderrProgress {
+    fn begin(&mut self, total: usize) {
+        self.total = total;
+        self.done = 0;
+        self.failed = 0;
+        self.started = Some(Instant::now());
+        self.print(true);
+    }
+
+    fn item_started(&mut self, worker: usize, _index: usize, label: &str) {
+        if self.workers.len() <= worker {
+            self.workers.resize(worker + 1, None);
+        }
+        self.workers[worker] = Some(label.to_owned());
+    }
+
+    fn item_done(&mut self, _index: usize, label: &str, ok: bool) {
+        self.done += 1;
+        if !ok {
+            self.failed += 1;
+        }
+        for w in &mut self.workers {
+            if w.as_deref() == Some(label) {
+                *w = None;
+                break;
+            }
+        }
+        self.print(self.done == self.total);
+    }
+
+    fn finish(&mut self) {
+        self.print(true);
+        eprintln!();
+    }
+}
+
+/// Appends one JSON record per notification:
+///
+/// ```json
+/// {"progress":"begin","total":12}
+/// {"progress":"item","index":0,"done":1,"total":12,"label":"unison/ring/n=16","ok":true,"elapsed_ms":41}
+/// {"progress":"end","done":12,"total":12,"failed":0,"elapsed_ms":873}
+/// ```
+///
+/// `item_started` is not persisted — the file records completions, not
+/// scheduling.
+pub struct JsonlProgress<W: Write + Send> {
+    writer: W,
+    total: usize,
+    done: usize,
+    failed: usize,
+    started: Option<Instant>,
+}
+
+impl JsonlProgress<BufWriter<File>> {
+    /// Creates (truncating) the progress file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlProgress::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlProgress<W> {
+    /// Wraps `writer` (supply your own buffering).
+    pub fn new(writer: W) -> Self {
+        JsonlProgress {
+            writer,
+            total: 0,
+            done: 0,
+            failed: 0,
+            started: None,
+        }
+    }
+
+    /// Flushes and hands back the writer.
+    pub fn into_writer(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+
+    fn elapsed_ms(&self) -> u128 {
+        self.started.map(|t| t.elapsed().as_millis()).unwrap_or(0)
+    }
+}
+
+impl<W: Write + Send> Progress for JsonlProgress<W> {
+    fn begin(&mut self, total: usize) {
+        self.total = total;
+        self.done = 0;
+        self.failed = 0;
+        self.started = Some(Instant::now());
+        let _ = writeln!(self.writer, "{{\"progress\":\"begin\",\"total\":{total}}}");
+    }
+
+    fn item_done(&mut self, index: usize, label: &str, ok: bool) {
+        self.done += 1;
+        if !ok {
+            self.failed += 1;
+        }
+        let _ = writeln!(
+            self.writer,
+            "{{\"progress\":\"item\",\"index\":{index},\"done\":{},\"total\":{},\"label\":{},\"ok\":{ok},\"elapsed_ms\":{}}}",
+            self.done,
+            self.total,
+            json_string(label),
+            self.elapsed_ms()
+        );
+    }
+
+    fn finish(&mut self) {
+        let _ = writeln!(
+            self.writer,
+            "{{\"progress\":\"end\",\"done\":{},\"total\":{},\"failed\":{},\"elapsed_ms\":{}}}",
+            self.done,
+            self.total,
+            self.failed,
+            self.elapsed_ms()
+        );
+        let _ = self.writer.flush();
+    }
+}
+
+/// Compile-time guard: progress reporters cross the worker-pool
+/// boundary.
+#[allow(dead_code)]
+fn assert_send() {
+    fn is_send<T: Send>() {}
+    is_send::<NoProgress>();
+    is_send::<StderrProgress>();
+    is_send::<JsonlProgress<BufWriter<File>>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_progress_records_the_campaign() {
+        let mut p = JsonlProgress::new(Vec::new());
+        p.begin(2);
+        p.item_done(0, "a/b", true);
+        p.item_done(1, "c\"d", false);
+        p.finish();
+        let out = String::from_utf8(p.into_writer()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "{\"progress\":\"begin\",\"total\":2}");
+        assert!(lines[1].contains("\"done\":1") && lines[1].contains("\"label\":\"a/b\""));
+        assert!(lines[2].contains("\"ok\":false") && lines[2].contains("c\\\"d"));
+        assert!(lines[3].starts_with("{\"progress\":\"end\",\"done\":2,\"total\":2,\"failed\":1"));
+    }
+
+    #[test]
+    fn stderr_progress_tracks_counts_and_workers() {
+        let mut p = StderrProgress::new().with_min_interval(Duration::from_secs(3600));
+        p.begin(4);
+        p.item_started(1, 0, "ring/16");
+        assert!(p.render_line().contains("running: ring/16"));
+        p.item_done(0, "ring/16", true);
+        p.item_done(1, "torus/64", false);
+        assert_eq!((p.done(), p.failed()), (2, 1));
+        let line = p.render_line();
+        assert!(
+            line.contains("2/4") && line.contains("50%") && line.contains("1 failed"),
+            "{line}"
+        );
+        assert!(!line.contains("running:"), "{line}");
+        p.finish();
+    }
+
+    #[test]
+    fn eta_appears_once_items_complete() {
+        let mut p = StderrProgress::new().with_min_interval(Duration::ZERO);
+        p.begin(10);
+        assert!(!p.render_line().contains("eta"));
+        p.item_done(0, "x", true);
+        assert!(p.render_line().contains("eta"));
+        p.finish();
+    }
+}

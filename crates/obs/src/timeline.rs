@@ -1,0 +1,182 @@
+//! Per-run timelines: the `(process, rule)` moves of every step, as a
+//! replayable artifact.
+//!
+//! A [`RunTimeline`] is recorded by
+//! [`TimelineObserver`](crate::observers::TimelineObserver), serialized
+//! as JSONL, and replayed through [`RunTimeline::script_daemon`] — the
+//! same `Daemon::Script` mechanism the exhaustive explorer's
+//! [`Witness`] uses, so a recorded trajectory can be checked against a
+//! worst-case witness or re-driven deterministically.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use ssr_graph::NodeId;
+use ssr_runtime::exhaustive::Witness;
+use ssr_runtime::{Daemon, RuleId};
+
+/// One step of a recorded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineStep {
+    /// The `(process, rule)` moves of the step, in activation order.
+    pub moves: Vec<(NodeId, RuleId)>,
+    /// Whether this step completed a §2.4 round.
+    pub round_completed: bool,
+}
+
+/// The recorded trajectory of one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunTimeline {
+    steps: Vec<TimelineStep>,
+}
+
+impl RunTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        RunTimeline::default()
+    }
+
+    /// Appends one step (used by the recording observer).
+    pub fn push(&mut self, step: TimelineStep) {
+        self.steps.push(step);
+    }
+
+    /// The recorded steps, in order.
+    pub fn steps(&self) -> &[TimelineStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The activation set of each step — the schedule in the
+    /// [`Witness`] sense (rule choices dropped).
+    pub fn schedule(&self) -> Vec<Vec<NodeId>> {
+        self.steps
+            .iter()
+            .map(|s| s.moves.iter().map(|&(u, _)| u).collect())
+            .collect()
+    }
+
+    /// A scripted daemon replaying this timeline's schedule step by
+    /// step, from the same initial configuration.
+    pub fn script_daemon(&self) -> Daemon {
+        Daemon::Script {
+            steps: Arc::new(self.schedule()),
+        }
+    }
+
+    /// Whether this timeline activates the same process sets as
+    /// `witness`, step for step (order within a step is irrelevant —
+    /// activation sets are sets).
+    pub fn matches_witness(&self, witness: &Witness) -> bool {
+        let ours = self.schedule();
+        if ours.len() != witness.schedule.len() {
+            return false;
+        }
+        ours.iter().zip(witness.schedule.iter()).all(|(a, b)| {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        })
+    }
+
+    /// JSONL rendering: one line per step,
+    /// `{"step":i,"moves":[[node,rule],...],"round_completed":bool}`.
+    /// Deterministic — a pure function of the recorded run.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = write!(out, "{{\"step\":{i},\"moves\":[");
+            for (j, (u, r)) in s.moves.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{}]", u.index(), r.index());
+            }
+            let _ = writeln!(out, "],\"round_completed\":{}}}", s.round_completed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(steps: &[&[u32]]) -> RunTimeline {
+        let mut t = RunTimeline::new();
+        for s in steps {
+            t.push(TimelineStep {
+                moves: s.iter().map(|&u| (NodeId(u), RuleId(0))).collect(),
+                round_completed: false,
+            });
+        }
+        t
+    }
+
+    fn witness(schedule: &[&[u32]]) -> Witness {
+        Witness {
+            init: 0,
+            schedule: schedule
+                .iter()
+                .map(|s| s.iter().map(|&u| NodeId(u)).collect())
+                .collect(),
+            moves: 0,
+            steps: schedule.len() as u64,
+            rounds: 0,
+        }
+    }
+
+    #[test]
+    fn schedule_drops_rules() {
+        let t = tl(&[&[0, 2], &[1]]);
+        assert_eq!(
+            t.schedule(),
+            vec![vec![NodeId(0), NodeId(2)], vec![NodeId(1)]]
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn witness_match_is_order_insensitive_within_steps() {
+        let t = tl(&[&[2, 0], &[1]]);
+        assert!(t.matches_witness(&witness(&[&[0, 2], &[1]])));
+        assert!(!t.matches_witness(&witness(&[&[0], &[1]])));
+        assert!(!t.matches_witness(&witness(&[&[0, 2]])));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        let mut t = tl(&[&[0]]);
+        t.push(TimelineStep {
+            moves: vec![(NodeId(1), RuleId(2))],
+            round_completed: true,
+        });
+        let s = t.to_jsonl();
+        assert_eq!(
+            s,
+            "{\"step\":0,\"moves\":[[0,0]],\"round_completed\":false}\n\
+             {\"step\":1,\"moves\":[[1,2]],\"round_completed\":true}\n"
+        );
+        assert_eq!(s, t.to_jsonl());
+    }
+
+    #[test]
+    fn script_daemon_wraps_the_schedule() {
+        let t = tl(&[&[0, 1]]);
+        match t.script_daemon() {
+            Daemon::Script { steps } => assert_eq!(steps.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+}

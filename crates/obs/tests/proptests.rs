@@ -1,0 +1,199 @@
+//! Property-based pins for the observability read-only guarantee: on
+//! any seeded run, enabling trace or metrics channels must leave the
+//! run's results byte-identical to the bare path — at one *and* four
+//! intra-run threads — and two traces of the same seeded run must be
+//! byte-identical to each other.
+
+use proptest::prelude::*;
+use ssr_graph::{generators, Graph};
+use ssr_obs::pipeline::{CompositeSink, PipelineMetrics};
+use ssr_obs::trace::JsonlSink;
+use ssr_runtime::rng::Xoshiro256StarStar;
+use ssr_runtime::trace::TraceSink;
+use ssr_runtime::{Algorithm, Daemon, NodeId, RuleId, RuleMask, Simulator, StateView};
+
+/// Toy convergence workload with multi-move synchronous steps: every
+/// node below the maximum of its neighborhood adopts that maximum.
+struct MaxFlood;
+
+impl Algorithm for MaxFlood {
+    type State = u32;
+    fn rule_count(&self) -> usize {
+        1
+    }
+    fn rule_name(&self, _: RuleId) -> &'static str {
+        "adopt-max"
+    }
+    fn enabled_mask<V: StateView<u32>>(&self, u: NodeId, view: &V) -> RuleMask {
+        let best = view
+            .graph()
+            .neighbors(u)
+            .iter()
+            .map(|&v| *view.state(v))
+            .max()
+            .unwrap_or(0);
+        RuleMask::from_bool(best > *view.state(u))
+    }
+    fn apply<V: StateView<u32>>(&self, u: NodeId, view: &V, _: RuleId) -> u32 {
+        view.graph()
+            .neighbors(u)
+            .iter()
+            .map(|&v| *view.state(v))
+            .max()
+            .unwrap_or(0)
+            .max(*view.state(u))
+    }
+}
+
+fn instance(n: usize, gseed: u64, vseed: u64) -> (Graph, Vec<u32>) {
+    let g = generators::random_connected(n, n / 2, gseed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(vseed);
+    let init: Vec<u32> = (0..g.node_count()).map(|_| rng.below(64) as u32).collect();
+    (g, init)
+}
+
+fn daemon(choice: u8) -> Daemon {
+    match choice % 4 {
+        0 => Daemon::Synchronous,
+        1 => Daemon::Central,
+        2 => Daemon::RoundRobin,
+        _ => Daemon::RandomSubset { p: 0.5 },
+    }
+}
+
+/// Everything a run "returns": final configuration plus the stats a
+/// caller could observe. Observability must never perturb any of it.
+type RunRecord = (Vec<u32>, u64, u64, u64, bool);
+
+fn run_once(
+    g: &Graph,
+    init: &[u32],
+    daemon: Daemon,
+    threads: usize,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (RunRecord, Option<Box<dyn TraceSink>>) {
+    let mut sim = Simulator::new(g, MaxFlood, init.to_vec(), daemon, 42);
+    sim.set_intra_threads(threads);
+    if let Some(sink) = sink {
+        sim.set_trace_sink(sink);
+    }
+    let out = sim.execution().cap(10_000).run();
+    let record = (
+        sim.states().to_vec(),
+        sim.stats().steps,
+        sim.stats().moves,
+        sim.stats().completed_rounds,
+        out.terminal,
+    );
+    let mut sink = sim.take_trace_sink();
+    if let Some(s) = sink.as_mut() {
+        s.flush();
+    }
+    (record, sink)
+}
+
+fn trace_bytes(sink: Box<dyn TraceSink>) -> Vec<u8> {
+    let mut sink = sink;
+    let jsonl = sink
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<JsonlSink<Vec<u8>>>())
+        .expect("sink is the JsonlSink we installed");
+    std::mem::replace(jsonl, JsonlSink::new(Vec::new())).into_writer()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Results with trace and metrics channels enabled are identical to
+    /// the bare path, at 1 and 4 intra-run threads alike.
+    #[test]
+    fn observability_leaves_results_byte_identical(
+        n in 3usize..24,
+        gseed in 0u64..50,
+        vseed in 0u64..50,
+        dchoice in 0u8..4,
+    ) {
+        let (g, init) = instance(n, gseed, vseed);
+        let d = daemon(dchoice);
+        let (baseline, _) = run_once(&g, &init, d.clone(), 1, None);
+        for threads in [1usize, 4] {
+            let (bare, _) = run_once(&g, &init, d.clone(), threads, None);
+            let (traced, _) = run_once(
+                &g,
+                &init,
+                d.clone(),
+                threads,
+                Some(Box::new(JsonlSink::new(Vec::new()))),
+            );
+            let (metered, _) = run_once(
+                &g,
+                &init,
+                d.clone(),
+                threads,
+                Some(Box::new(PipelineMetrics::without_timing())),
+            );
+            prop_assert_eq!(&bare, &baseline, "threads must not change results");
+            prop_assert_eq!(&traced, &baseline, "tracing must be read-only");
+            prop_assert_eq!(&metered, &baseline, "metrics must be read-only");
+        }
+    }
+
+    /// Two JSONL traces of the same seeded run are byte-identical, and
+    /// non-trivial.
+    #[test]
+    fn same_seeded_run_traces_identically(
+        n in 3usize..24,
+        gseed in 0u64..50,
+        vseed in 0u64..50,
+        dchoice in 0u8..4,
+    ) {
+        let (g, init) = instance(n, gseed, vseed);
+        let d = daemon(dchoice);
+        let mut traces = Vec::new();
+        for _ in 0..2 {
+            let (_, sink) = run_once(
+                &g,
+                &init,
+                d.clone(),
+                1,
+                Some(Box::new(JsonlSink::new(Vec::new()))),
+            );
+            traces.push(trace_bytes(sink.expect("sink survives the run")));
+        }
+        prop_assert!(!traces[0].is_empty(), "a run must emit at least RunEnded");
+        prop_assert_eq!(&traces[0], &traces[1]);
+    }
+
+    /// The untimed pipeline-metrics snapshot is a pure function of the
+    /// seeded run: identical JSON at 1 and 4 intra-run threads.
+    #[test]
+    fn untimed_metrics_are_thread_count_invariant(
+        n in 3usize..24,
+        gseed in 0u64..50,
+        vseed in 0u64..50,
+    ) {
+        let (g, init) = instance(n, gseed, vseed);
+        let mut snapshots = Vec::new();
+        for threads in [1usize, 4] {
+            let (_, sink) = run_once(
+                &g,
+                &init,
+                Daemon::Synchronous,
+                threads,
+                Some(Box::new(CompositeSink::new(
+                    Some(PipelineMetrics::without_timing()),
+                    None,
+                ))),
+            );
+            let mut sink = sink.expect("sink survives the run");
+            let metrics = sink
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<CompositeSink>())
+                .and_then(CompositeSink::take_metrics)
+                .expect("composite sink carries metrics");
+            snapshots.push(metrics.snapshot().to_json());
+        }
+        prop_assert!(snapshots[0].contains("pipeline.steps"));
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+    }
+}

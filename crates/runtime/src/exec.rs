@@ -90,6 +90,7 @@ use crate::algorithm::{Algorithm, RuleId};
 use crate::daemon::Daemon;
 use crate::simulator::{RunOutcome, Simulator, StepOutcome, TerminationReason};
 use crate::step::par::ParHooks;
+use crate::trace::TraceSink;
 
 /// A passive probe attached to an execution.
 ///
@@ -318,6 +319,9 @@ pub struct Execution<'e, 'g, A: Algorithm, O = NoObserver, P = NoPredicate<A>> {
     /// `Some(hooks)` when [`Execution::intra_threads`] was called: the
     /// pre-built kernels to install (inner `None` = explicit sequential).
     intra: Option<Option<ParHooks<A>>>,
+    /// `Some(sink)` when [`Execution::trace`] was called: installed on
+    /// the simulator before the run (see [`crate::trace`]).
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 /// Outcome of [`Execution::run_report`]: the [`RunOutcome`] plus the
@@ -373,6 +377,7 @@ impl<'e, 'g, A: Algorithm> Execution<'e, 'g, A> {
             observer: NoObserver,
             predicate: None,
             intra: None,
+            trace: None,
         }
     }
 
@@ -384,6 +389,7 @@ impl<'e, 'g, A: Algorithm> Execution<'e, 'g, A> {
             observer: NoObserver,
             predicate: None,
             intra: None,
+            trace: None,
         }
     }
 }
@@ -475,6 +481,20 @@ impl<'e, 'g, A: Algorithm, O, P> Execution<'e, 'g, A, O, P> {
         self
     }
 
+    /// Installs a [`TraceSink`] on the simulator for this run: the step
+    /// pipeline emits the typed event stream documented in
+    /// [`crate::trace`]. On a resumed execution the sink stays
+    /// installed afterwards — recover it with
+    /// [`Simulator::take_trace_sink`]. A second call replaces the sink.
+    ///
+    /// Tracing never changes execution; with no sink the pipeline's
+    /// disabled path is pinned at zero cost by the `obs_overhead`
+    /// bench.
+    pub fn trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Attaches a probe; repeated calls nest, so every attached
     /// observer sees every event (earlier attachments fire first).
     pub fn observe<O2: Observer<A>>(self, observer: O2) -> Execution<'e, 'g, A, (O, O2), P> {
@@ -484,6 +504,7 @@ impl<'e, 'g, A: Algorithm, O, P> Execution<'e, 'g, A, O, P> {
             observer: (self.observer, observer),
             predicate: self.predicate,
             intra: self.intra,
+            trace: self.trace,
         }
     }
 
@@ -500,6 +521,7 @@ impl<'e, 'g, A: Algorithm, O, P> Execution<'e, 'g, A, O, P> {
             observer: self.observer,
             predicate: Some(predicate),
             intra: self.intra,
+            trace: self.trace,
         }
     }
 }
@@ -547,11 +569,15 @@ where
             mut observer,
             mut predicate,
             intra,
+            trace,
         } = self;
         match source {
             Source::Resumed(sim) => {
                 if let Some(hooks) = intra {
                     sim.install_par(hooks);
+                }
+                if let Some(sink) = trace {
+                    sim.set_trace_sink(sink);
                 }
                 drive(sim, cap, &mut observer, predicate.as_mut())
             }
@@ -559,6 +585,9 @@ where
                 let mut sim = Self::build(fresh);
                 if let Some(hooks) = intra {
                     sim.install_par(hooks);
+                }
+                if let Some(sink) = trace {
+                    sim.set_trace_sink(sink);
                 }
                 drive(&mut sim, cap, &mut observer, predicate.as_mut())
             }
@@ -579,6 +608,7 @@ where
             mut observer,
             mut predicate,
             intra,
+            trace,
         } = self;
         assert!(
             matches!(source, Source::Fresh { .. }),
@@ -588,6 +618,9 @@ where
         let mut sim = Self::build(source);
         if let Some(hooks) = intra {
             sim.install_par(hooks);
+        }
+        if let Some(sink) = trace {
+            sim.set_trace_sink(sink);
         }
         let outcome = drive(&mut sim, cap, &mut observer, predicate.as_mut());
         RunReport { outcome, sim }
@@ -626,6 +659,7 @@ where
                 observer.on_terminal(sim);
             }
             let out = outcome(sim, true, steps_used, TerminationReason::PredicateMet);
+            sim.emit_run_ended(&out);
             observer.on_run_end(sim, &out);
             return out;
         }
@@ -645,6 +679,7 @@ where
                 TerminationReason::CapExhausted
             };
             let out = outcome(sim, reached, steps_used, reason);
+            sim.emit_run_ended(&out);
             observer.on_run_end(sim, &out);
             return out;
         }
@@ -657,6 +692,7 @@ where
                     steps_used,
                     TerminationReason::Terminal,
                 );
+                sim.emit_run_ended(&out);
                 observer.on_run_end(sim, &out);
                 return out;
             }
@@ -680,6 +716,7 @@ where
                             observer.on_terminal(sim);
                         }
                         let out = outcome(sim, true, steps_used, TerminationReason::PredicateMet);
+                        sim.emit_run_ended(&out);
                         observer.on_run_end(sim, &out);
                         return out;
                     }

@@ -310,6 +310,21 @@ pub trait FamilyProbe {
     fn on_run_end(&mut self, outcome: &RunOutcome) {
         let _ = outcome;
     }
+
+    /// A [`TraceSink`](crate::trace::TraceSink) for the *measured*
+    /// execution, installed by the family after any warm-up phase.
+    /// Default `None`: no tracing through the family boundary.
+    fn make_trace_sink(&mut self) -> Option<Box<dyn crate::trace::TraceSink>> {
+        None
+    }
+
+    /// Hands the sink from [`FamilyProbe::make_trace_sink`] back after
+    /// the measured execution, with everything it recorded (use
+    /// [`TraceSink::as_any_mut`](crate::trace::TraceSink::as_any_mut)
+    /// to recover the concrete type). Default: drop it.
+    fn collect_trace_sink(&mut self, sink: Box<dyn crate::trace::TraceSink>) {
+        let _ = sink;
+    }
 }
 
 /// Bridges an optional erased [`FamilyProbe`] onto the typed
@@ -324,6 +339,27 @@ impl<'p> ProbeBridge<'p> {
     /// Wraps `probe` (no-op when `None`).
     pub fn new(probe: Option<&'p mut dyn FamilyProbe>) -> Self {
         ProbeBridge { probe, steps: 0 }
+    }
+
+    /// Installs the probe's trace sink (if it supplies one) on `sim` —
+    /// called by family `run` bodies right before the *measured*
+    /// execution, after any warm-up phase.
+    pub fn install_trace<A: Algorithm>(&mut self, sim: &mut Simulator<'_, A>) {
+        if let Some(probe) = self.probe.as_deref_mut() {
+            if let Some(sink) = probe.make_trace_sink() {
+                sim.set_trace_sink(sink);
+            }
+        }
+    }
+
+    /// Returns the installed sink to the probe after the measured
+    /// execution — the counterpart of [`ProbeBridge::install_trace`].
+    pub fn collect_trace<A: Algorithm>(&mut self, sim: &mut Simulator<'_, A>) {
+        if let Some(sink) = sim.take_trace_sink() {
+            if let Some(probe) = self.probe.as_deref_mut() {
+                probe.collect_trace_sink(sink);
+            }
+        }
     }
 }
 

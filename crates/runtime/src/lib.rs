@@ -86,6 +86,7 @@ pub mod rng;
 mod simulator;
 pub mod soa;
 mod step;
+pub mod trace;
 
 pub use algorithm::{Algorithm, ConfigView, MapView, RuleId, RuleMask, StateView};
 pub use daemon::Daemon;
@@ -96,6 +97,7 @@ pub use family::{
 };
 pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome, TerminationReason};
 pub use soa::{AosColumns, ScalarColumns, StateColumns};
+pub use trace::{NoTrace, TraceEvent, TracePhase, TraceSink};
 
 // Re-export the graph handle: every API in this crate speaks `NodeId`.
 pub use ssr_graph::NodeId;

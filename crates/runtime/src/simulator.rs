@@ -2,6 +2,7 @@
 //! round accounting, built on the staged step pipeline in [`crate::step`].
 
 use std::fmt;
+use std::time::Instant;
 
 use ssr_graph::coloring::ConflictPartitioner;
 use ssr_graph::{Bitset, Graph, NodeId};
@@ -13,6 +14,7 @@ use crate::rng::Xoshiro256StarStar;
 use crate::soa::StateColumns;
 use crate::step;
 use crate::step::par::ParHooks;
+use crate::trace::{TraceEvent, TracePhase, TraceSink};
 
 /// Execution counters (§2.4 time measures).
 ///
@@ -173,6 +175,9 @@ pub struct Simulator<'g, A: Algorithm> {
     /// Conflict-partition diagnostics (enabled via `set_conflict_stats`).
     conflict: Option<ConflictPartitioner>,
     last_conflict_classes: Option<u32>,
+    /// Installed trace sink (`None` = tracing disabled, the default;
+    /// see [`crate::trace`] for the zero-cost contract).
+    trace: Option<Box<dyn TraceSink>>,
     // Scratch buffers (reused across steps).
     selected: Vec<NodeId>,
     last_activated: Vec<(NodeId, RuleId)>,
@@ -226,6 +231,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             par_threshold: DEFAULT_PAR_THRESHOLD,
             conflict: None,
             last_conflict_classes: None,
+            trace: None,
             selected: Vec::new(),
             last_activated: Vec::new(),
             next_buf: Vec::new(),
@@ -305,6 +311,28 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
     /// set, when diagnostics are on ([`Simulator::set_conflict_stats`]).
     pub fn last_conflict_classes(&self) -> Option<u32> {
         self.last_conflict_classes
+    }
+
+    /// Installs a [`TraceSink`]: every subsequent step emits the typed
+    /// event stream documented in [`crate::trace`]. Replaces any
+    /// previously installed sink.
+    ///
+    /// Tracing never changes execution: states, counters, RNG stream,
+    /// and observer callbacks are byte-identical with or without a
+    /// sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, disabling tracing
+    /// (use [`TraceSink::as_any_mut`] to recover the concrete type).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Whether a trace sink is currently installed.
+    pub fn has_trace_sink(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// The communication graph.
@@ -433,6 +461,25 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         if self.enabled_list.is_empty() {
             return StepOutcome::Terminal;
         }
+        // Tracing: sink taken out for the step (avoids aliasing the
+        // pipeline's &mut self borrows) and restored before returning.
+        // With no sink installed this is one Option move and a few
+        // never-taken branches — the `obs_overhead` tripwire pins it.
+        let mut trace = self.trace.take();
+        let step_idx = self.stats.steps;
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(&TraceEvent::StepStarted {
+                step: step_idx,
+                enabled: self.enabled_list.len() as u32,
+            });
+        }
+        // The clock is read only for sinks that opted into (inherently
+        // nondeterministic) phase timing.
+        let mut phase_clock = match trace.as_deref() {
+            Some(t) if t.wants_phase_timing() => Some(Instant::now()),
+            _ => None,
+        };
+
         // Phase 1 (select): daemon choice + rule resolution. Owns every
         // RNG draw of the step; always sequential.
         let mut selected = std::mem::take(&mut self.selected);
@@ -459,10 +506,23 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             );
             self.last_conflict_classes = Some(k);
         }
+        if let Some(clock) = phase_clock.as_mut() {
+            let now = Instant::now();
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(&TraceEvent::PhaseTimed {
+                    step: step_idx,
+                    phase: TracePhase::Select,
+                    nanos: now.duration_since(*clock).as_nanos() as u64,
+                    par: false,
+                });
+            }
+            *clock = now;
+        }
 
         // Phase 2 (apply): next states against the *old* configuration.
         let mut next = std::mem::take(&mut self.next_buf);
         let par = self.par_if(self.last_activated.len());
+        let apply_par = par.is_some();
         step::apply::compute_next_states(
             self.graph,
             &self.algo,
@@ -491,6 +551,25 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         }
         self.next_buf = next;
         self.stats.steps += 1;
+        if let Some(clock) = phase_clock.as_mut() {
+            let now = Instant::now();
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(&TraceEvent::PhaseTimed {
+                    step: step_idx,
+                    phase: TracePhase::Apply,
+                    nanos: now.duration_since(*clock).as_nanos() as u64,
+                    par: apply_par,
+                });
+            }
+            *clock = now;
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(&TraceEvent::MovesApplied {
+                step: step_idx,
+                moves: self.last_activated.len() as u32,
+                conflict_classes: self.last_conflict_classes,
+            });
+        }
 
         // Phase 3 (guards): re-evaluate movers and their neighbors —
         // the only nodes whose guards can have changed (§2.2 locality).
@@ -506,6 +585,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         );
         let mut new_masks = std::mem::take(&mut self.mask_buf);
         let par = self.par_if(refresh.len());
+        let guards_par = par.is_some();
         step::guards::compute_masks(
             self.graph,
             &self.algo,
@@ -561,7 +641,43 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         let activated = self.last_activated.len();
         selected.clear();
         self.selected = selected;
+
+        if let Some(t) = trace.as_deref_mut() {
+            if let Some(clock) = phase_clock {
+                t.record(&TraceEvent::PhaseTimed {
+                    step: step_idx,
+                    phase: TracePhase::Guards,
+                    nanos: clock.elapsed().as_nanos() as u64,
+                    par: guards_par,
+                });
+            }
+            t.record(&TraceEvent::EnabledSetSize {
+                step: step_idx,
+                enabled: self.enabled_list.len() as u32,
+            });
+            if self.round_just_completed {
+                t.record(&TraceEvent::RoundCompleted {
+                    step: step_idx,
+                    rounds: self.stats.completed_rounds,
+                });
+            }
+        }
+        self.trace = trace;
         StepOutcome::Progress { activated }
+    }
+
+    /// Emits [`TraceEvent::RunEnded`] and flushes the sink; called by
+    /// the `exec` driver at each of its return sites.
+    pub(crate) fn emit_run_ended(&mut self, out: &RunOutcome) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(&TraceEvent::RunEnded {
+                steps: self.stats.steps,
+                moves: self.stats.moves,
+                rounds: self.stats.completed_rounds,
+                reason: out.reason,
+            });
+            t.flush();
+        }
     }
 
     /// Whether the most recent step completed a round (§2.4
@@ -982,6 +1098,127 @@ mod tests {
             );
             assert!(sim.states().iter().all(|&b| b));
         }
+    }
+
+    #[test]
+    fn trace_events_cover_the_step_life_cycle() {
+        use crate::trace::{TraceEvent, TraceSink};
+
+        #[derive(Default)]
+        struct Collect(Vec<TraceEvent>);
+        impl TraceSink for Collect {
+            fn record(&mut self, e: &TraceEvent) {
+                self.0.push(*e);
+            }
+            fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+                Some(self)
+            }
+        }
+
+        let (init, g) = flood_path(3);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.set_trace_sink(Box::new(Collect::default()));
+        let out = sim.execution().cap(100).run();
+        assert!(out.terminal);
+        let mut sink = sim.take_trace_sink().expect("sink installed");
+        let events = &sink
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<Collect>())
+            .expect("concrete sink")
+            .0;
+        // Two steps on a 3-node path flood: per step StepStarted,
+        // MovesApplied, EnabledSetSize, RoundCompleted; one RunEnded.
+        assert_eq!(
+            events[..4],
+            [
+                TraceEvent::StepStarted {
+                    step: 0,
+                    enabled: 1
+                },
+                TraceEvent::MovesApplied {
+                    step: 0,
+                    moves: 1,
+                    conflict_classes: None
+                },
+                TraceEvent::EnabledSetSize {
+                    step: 0,
+                    enabled: 1
+                },
+                TraceEvent::RoundCompleted { step: 0, rounds: 1 },
+            ]
+        );
+        assert_eq!(
+            events.last(),
+            Some(&TraceEvent::RunEnded {
+                steps: 2,
+                moves: 2,
+                rounds: 2,
+                reason: TerminationReason::Terminal,
+            })
+        );
+        // No PhaseTimed without opt-in: the default stream is
+        // deterministic.
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::PhaseTimed { .. })));
+        assert_eq!(events.len(), 9);
+    }
+
+    #[test]
+    fn trace_phase_timing_is_opt_in() {
+        use crate::trace::{TraceEvent, TracePhase, TraceSink};
+
+        #[derive(Default)]
+        struct Timed(Vec<(u64, TracePhase)>);
+        impl TraceSink for Timed {
+            fn record(&mut self, e: &TraceEvent) {
+                if let TraceEvent::PhaseTimed { step, phase, .. } = e {
+                    self.0.push((*step, *phase));
+                }
+            }
+            fn wants_phase_timing(&self) -> bool {
+                true
+            }
+            fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+                Some(self)
+            }
+        }
+
+        let (init, g) = flood_path(3);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::Synchronous, 0);
+        sim.set_trace_sink(Box::new(Timed::default()));
+        sim.step();
+        let mut sink = sim.take_trace_sink().unwrap();
+        let phases = &sink
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<Timed>())
+            .unwrap()
+            .0;
+        assert_eq!(
+            phases,
+            &[
+                (0, TracePhase::Select),
+                (0, TracePhase::Apply),
+                (0, TracePhase::Guards)
+            ]
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_execution() {
+        let g = generators::random_connected(24, 36, 5);
+        let mut init = vec![false; 24];
+        init[0] = true;
+        let run = |traced: bool| {
+            let mut sim =
+                Simulator::new(&g, Flood, init.clone(), Daemon::RandomSubset { p: 0.5 }, 11);
+            if traced {
+                sim.set_trace_sink(Box::new(crate::trace::NoTrace));
+            }
+            sim.execution().cap(10_000).run();
+            (sim.stats().clone(), sim.states().to_vec())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

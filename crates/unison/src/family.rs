@@ -110,6 +110,7 @@ impl Family for UnisonSdrFamily {
             warm_up_and_corrupt_clocks(&mut sim, k.resolve(nn), period, &mut rng);
         }
         let mut bridge = ProbeBridge::new(probe);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -117,6 +118,7 @@ impl Family for UnisonSdrFamily {
             .observe(&mut bridge)
             .until(|gr, st| check.is_normal_config(gr, st))
             .run();
+        bridge.collect_trace(&mut sim);
         let pp = max_sdr_moves_per_process(graph, sim.stats(), rc);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = pp;
@@ -237,6 +239,7 @@ impl Family for UnisonFamily {
             sim.reset_stats();
         }
         let mut bridge = ProbeBridge::new(probe);
+        bridge.install_trace(&mut sim);
         let out = sim
             .execution()
             .cap(budget.cap)
@@ -244,6 +247,7 @@ impl Family for UnisonFamily {
             .observe(&mut bridge)
             .until(|gr, st| spec::safety_holds(gr, st, period))
             .run();
+        bridge.collect_trace(&mut sim);
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = sim.stats().max_moves_per_process();
         // No closed-form bound: U is not self-stabilizing on its own.

@@ -18,6 +18,7 @@
 //! | [`baselines`] | `ssr-baselines` | CFG unison, mono-initiator reset |
 //! | [`campaign`] | `ssr-campaign` | scenario campaigns, parallel batch engine, standard family registry (`campaign::families`), JSONL/CSV results |
 //! | [`explore`] | `ssr-explore` | exhaustive schedule-space explorer, exact worst-case bounds, witness traces |
+//! | [`obs`] | `ssr-obs` | zero-cost tracing sinks, metrics registry, campaign progress, run timelines |
 //!
 //! # Quickstart
 //!
@@ -44,5 +45,6 @@ pub use ssr_campaign as campaign;
 pub use ssr_core as core;
 pub use ssr_explore as explore;
 pub use ssr_graph as graph;
+pub use ssr_obs as obs;
 pub use ssr_runtime as runtime;
 pub use ssr_unison as unison;
