@@ -4,14 +4,18 @@
 //! preset, registrable in any
 //! [`FamilyRegistry`](ssr_runtime::family::FamilyRegistry).
 
-use ssr_core::{validate, Standalone};
+use ssr_core::{validate, ResetInput, Standalone};
 use ssr_graph::Graph;
+use ssr_runtime::analysis::{
+    audit_runs, collect_footprints, AnalyzeFamily, AnalyzeOptions, GraphAnalysis, RngAudit,
+};
 use ssr_runtime::exhaustive::ExploreOptions;
 use ssr_runtime::family::{
     explore_sample_seeds, explore_with_replay, stochastic_max_runs, AlgorithmSpec, Bounds,
     ExecBudget, ExploreFamily, ExploreReport, Family, FamilyProbe, FamilyRunOutcome, InitPlan,
     ProbeBridge, RunSeeds, StochasticMax, Verdict,
 };
+use ssr_runtime::rng::Xoshiro256StarStar;
 use ssr_runtime::{Algorithm, ConfigView, Daemon, Simulator};
 
 use crate::fga::{fga_sdr, FgaSdr};
@@ -164,6 +168,30 @@ impl Family for FgaSdrFamily {
     fn explore(&self) -> Option<&dyn ExploreFamily> {
         Some(self)
     }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
+}
+
+impl AnalyzeFamily for FgaSdrFamily {
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        let fga = self
+            .preset
+            .build(graph)
+            .expect("caller checked instantiability");
+        ssr_runtime::analysis::rule_names(&fga_sdr(fga))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = self.seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = self.seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
+    }
 }
 
 impl ExploreFamily for FgaSdrFamily {
@@ -255,6 +283,33 @@ impl FgaStandaloneFamily {
             moves: Some(verify::corollary11_move_bound(nn, m, delta)),
         }
     }
+
+    /// The analysis seed set: `γ_init` plus `samples` arbitrary state
+    /// vectors (the standalone theorems quantify over `γ_init` only,
+    /// but the soundness obligations must hold from *any* state).
+    fn seed_set(
+        &self,
+        graph: &Graph,
+        scenario_seed: u64,
+        samples: usize,
+    ) -> (Standalone<crate::fga::Fga>, Vec<Vec<crate::fga::FgaState>>) {
+        let fga = self
+            .preset
+            .build(graph)
+            .expect("caller checked instantiability");
+        let algo = Standalone::new(fga);
+        let mut inits = vec![algo.initial_config(graph)];
+        for s in explore_sample_seeds(scenario_seed, samples) {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(s);
+            inits.push(
+                graph
+                    .nodes()
+                    .map(|u| algo.inner().arbitrary_state(u, &mut rng))
+                    .collect(),
+            );
+        }
+        (algo, inits)
+    }
 }
 
 impl Family for FgaStandaloneFamily {
@@ -320,6 +375,30 @@ impl Family for FgaStandaloneFamily {
             None => Some(Ok(())),
             Some(fga) => Some(validate::check_requirements(&fga, graph).map_err(|e| e.to_string())),
         }
+    }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
+}
+
+impl AnalyzeFamily for FgaStandaloneFamily {
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        let fga = self
+            .preset
+            .build(graph)
+            .expect("caller checked instantiability");
+        ssr_runtime::analysis::rule_names(&Standalone::new(fga))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = self.seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = self.seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
     }
 }
 

@@ -61,6 +61,8 @@
 //! # Ok::<(), ssr_alliance::FgaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod columns;
 pub mod family;
 mod fga;

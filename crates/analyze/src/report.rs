@@ -1,0 +1,633 @@
+//! `ANALYSIS.json` rendering, validation, and the human table.
+//!
+//! The workspace is serde-free, so the writer emits JSON by hand with
+//! a fixed key order (reports are byte-stable across thread counts —
+//! the CI gate `cmp`s two renderings), and [`validate_json`] checks a
+//! document against the `ssr-analysis/v1` schema with a minimal
+//! recursive-descent parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ssr_runtime::analysis::{Finding, GraphAnalysis, RngAudit, Severity};
+
+use crate::{AnalysisReport, FamilyReport, SCHEMA};
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_str(s: &Option<String>) -> String {
+    match s {
+        Some(s) => format!("\"{}\"", escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"kind\":\"{}\",\"severity\":\"{}\",\"rule\":{},\"graph\":{},\"detail\":\"{}\"}}",
+        f.kind.code(),
+        match f.kind.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        },
+        opt_str(&f.rule),
+        opt_str(&f.graph),
+        escape(&f.detail),
+    )
+}
+
+fn findings_json(fs: &[Finding]) -> String {
+    let items: Vec<String> = fs.iter().map(finding_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn graph_json(g: &GraphAnalysis) -> String {
+    let rules: Vec<String> = g
+        .rules
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"enabled\":{},\"fired_first\":{},\"applies\":{},\
+                 \"changed\":{},\"guard_read_dist_max\":{},\"action_read_dist_max\":{},\
+                 \"guard_reads_max\":{},\"action_reads_max\":{}}}",
+                escape(&r.name),
+                r.enabled,
+                r.fired_first,
+                r.applies,
+                r.changed,
+                r.guard_read_dist_max,
+                r.action_read_dist_max,
+                r.guard_reads_max,
+                r.action_reads_max,
+            )
+        })
+        .collect();
+    let overlaps: Vec<String> = g
+        .overlaps
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"a\":{},\"b\":{},\"together\":{},\"identical\":{}}}",
+                o.a, o.b, o.together, o.identical
+            )
+        })
+        .collect();
+    format!(
+        "{{\"graph\":\"{}\",\"nodes\":{},\"configs\":{},\"truncated\":{},\
+         \"rules\":[{}],\"overlaps\":[{}],\"findings\":{}}}",
+        escape(&g.graph),
+        g.nodes,
+        g.configs,
+        g.truncated,
+        rules.join(","),
+        overlaps.join(","),
+        findings_json(&g.findings),
+    )
+}
+
+fn audit_json(a: &RngAudit) -> String {
+    format!(
+        "{{\"runs\":{},\"steps\":{},\"select_draws\":{},\"apply_draws\":{},\
+         \"guards_draws\":{},\"findings\":{}}}",
+        a.runs,
+        a.steps,
+        a.select_draws,
+        a.apply_draws,
+        a.guards_draws,
+        findings_json(&a.findings),
+    )
+}
+
+fn family_json(f: &FamilyReport) -> String {
+    let graphs: Vec<String> = f.graphs.iter().map(graph_json).collect();
+    let skipped: Vec<String> = f
+        .skipped
+        .iter()
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect();
+    format!(
+        "{{\"family\":\"{}\",\"certified\":{},\"analyzable\":{},\"errors\":{},\
+         \"warnings\":{},\"skipped\":[{}],\"graphs\":[{}],\"audit\":{},\"hygiene\":{}}}",
+        escape(&f.family),
+        f.certified(),
+        f.analyzable,
+        f.error_count(),
+        f.warning_count(),
+        skipped.join(","),
+        graphs.join(","),
+        audit_json(&f.audit),
+        findings_json(&f.hygiene),
+    )
+}
+
+/// Renders the report in the stable `ssr-analysis/v1` schema: fixed
+/// key order, no whitespace variance, trailing newline.
+pub fn to_json(report: &AnalysisReport) -> String {
+    let families: Vec<String> = report.families.iter().map(family_json).collect();
+    format!(
+        "{{\"schema\":\"{}\",\"certified\":{},\"families\":[{}]}}\n",
+        SCHEMA,
+        report.certified(),
+        families.join(","),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Human table
+// ---------------------------------------------------------------------
+
+/// A fixed-width summary table plus the full finding list — what the
+/// `analyze` bin prints.
+pub fn human_table(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let width = report
+        .families
+        .iter()
+        .map(|f| f.family.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>6}  {:>8}  {:>6}  {:>6}  {:>8}  verdict",
+        "family", "graphs", "configs", "errors", "warns", "draws"
+    );
+    for f in &report.families {
+        let configs: usize = f.graphs.iter().map(|g| g.configs).sum();
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>6}  {:>8}  {:>6}  {:>6}  {:>8}  {}",
+            f.family,
+            f.graphs.len(),
+            configs,
+            f.error_count(),
+            f.warning_count(),
+            f.audit.select_draws,
+            if f.certified() {
+                "certified"
+            } else {
+                "VIOLATIONS"
+            }
+        );
+    }
+    let mut any = false;
+    for f in &report.families {
+        for finding in f.findings() {
+            if !any {
+                let _ = writeln!(out, "\nfindings:");
+                any = true;
+            }
+            let _ = writeln!(
+                out,
+                "  [{}] {} ({}): {}",
+                match finding.kind.severity() {
+                    Severity::Error => "error",
+                    Severity::Warning => "warn ",
+                },
+                finding.kind.code(),
+                f.family,
+                finding.detail
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------
+
+/// A minimal JSON value — just enough structure for schema checking.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unsplit.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn as_obj(v: &Value, what: &str) -> Result<BTreeMap<String, Value>, String> {
+    match v {
+        Value::Obj(m) => Ok(m.clone()),
+        _ => Err(format!("{what} must be an object")),
+    }
+}
+
+fn as_arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], String> {
+    match v {
+        Value::Arr(a) => Ok(a),
+        _ => Err(format!("{what} must be an array")),
+    }
+}
+
+fn expect_num(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Value::Num(n) => Ok(*n),
+        _ => Err(format!("{what}.{key} must be a number")),
+    }
+}
+
+fn expect_bool(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("{what}.{key} must be a boolean")),
+    }
+}
+
+fn expect_str(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("{what}.{key} must be a string")),
+    }
+}
+
+const FINDING_CODES: &[&str] = &[
+    "non-local-guard",
+    "non-local-action",
+    "non-commutative",
+    "dead-rule",
+    "shadowed-rule",
+    "no-op-rule",
+    "overlapping-rules",
+    "disabled-rule-fired",
+    "foreign-write",
+    "out-of-phase-draw",
+    "not-analyzable",
+];
+
+fn check_findings(v: &Value, what: &str) -> Result<usize, String> {
+    let arr = as_arr(v, what)?;
+    for (i, f) in arr.iter().enumerate() {
+        let f = as_obj(f, &format!("{what}[{i}]"))?;
+        let kind = expect_str(&f, "kind", what)?;
+        if !FINDING_CODES.contains(&kind.as_str()) {
+            return Err(format!(
+                "{what}[{i}].kind `{kind}` is not in the vocabulary"
+            ));
+        }
+        let sev = expect_str(&f, "severity", what)?;
+        if sev != "error" && sev != "warning" {
+            return Err(format!("{what}[{i}].severity must be error|warning"));
+        }
+        expect_str(&f, "detail", what)?;
+    }
+    Ok(arr.len())
+}
+
+/// Validates `text` against the `ssr-analysis/v1` schema: structure,
+/// key presence/types, the finding vocabulary, and the consistency of
+/// the `certified` roll-ups with the findings they summarize. Returns
+/// the number of families on success.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let root = as_obj(&parse(text)?, "document")?;
+    let schema = expect_str(&root, "schema", "document")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let overall = expect_bool(&root, "certified", "document")?;
+    let families = as_arr(get(&root, "families")?, "families")?;
+    let mut all_certified = true;
+    for (i, fam) in families.iter().enumerate() {
+        let what = format!("families[{i}]");
+        let fam = as_obj(fam, &what)?;
+        expect_str(&fam, "family", &what)?;
+        let certified = expect_bool(&fam, "certified", &what)?;
+        expect_bool(&fam, "analyzable", &what)?;
+        let errors = expect_num(&fam, "errors", &what)?;
+        expect_num(&fam, "warnings", &what)?;
+        as_arr(get(&fam, "skipped")?, &format!("{what}.skipped"))?;
+        if certified && errors != 0.0 {
+            return Err(format!("{what} is certified but reports {errors} errors"));
+        }
+        all_certified &= certified;
+        for (j, g) in as_arr(get(&fam, "graphs")?, &format!("{what}.graphs"))?
+            .iter()
+            .enumerate()
+        {
+            let gwhat = format!("{what}.graphs[{j}]");
+            let g = as_obj(g, &gwhat)?;
+            expect_str(&g, "graph", &gwhat)?;
+            expect_num(&g, "nodes", &gwhat)?;
+            expect_num(&g, "configs", &gwhat)?;
+            expect_bool(&g, "truncated", &gwhat)?;
+            for (k, r) in as_arr(get(&g, "rules")?, &format!("{gwhat}.rules"))?
+                .iter()
+                .enumerate()
+            {
+                let rwhat = format!("{gwhat}.rules[{k}]");
+                let r = as_obj(r, &rwhat)?;
+                expect_str(&r, "name", &rwhat)?;
+                for key in [
+                    "enabled",
+                    "fired_first",
+                    "applies",
+                    "changed",
+                    "guard_read_dist_max",
+                    "action_read_dist_max",
+                    "guard_reads_max",
+                    "action_reads_max",
+                ] {
+                    expect_num(&r, key, &rwhat)?;
+                }
+            }
+            check_findings(get(&g, "findings")?, &format!("{gwhat}.findings"))?;
+        }
+        let awhat = format!("{what}.audit");
+        let audit = as_obj(get(&fam, "audit")?, &awhat)?;
+        for key in [
+            "runs",
+            "steps",
+            "select_draws",
+            "apply_draws",
+            "guards_draws",
+        ] {
+            expect_num(&audit, key, &awhat)?;
+        }
+        check_findings(get(&audit, "findings")?, &format!("{awhat}.findings"))?;
+        check_findings(get(&fam, "hygiene")?, &format!("{what}.hygiene"))?;
+    }
+    if overall != all_certified {
+        return Err("document `certified` disagrees with its families".to_string());
+    }
+    Ok(families.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_family, fixtures, AnalysisReport};
+    use ssr_runtime::analysis::AnalyzeOptions;
+
+    fn fixture_report() -> AnalysisReport {
+        AnalysisReport {
+            families: vec![
+                analyze_family(&fixtures::FarSightFamily, &AnalyzeOptions::default()),
+                analyze_family(&fixtures::ShadowedPairFamily, &AnalyzeOptions::default()),
+            ],
+        }
+    }
+
+    #[test]
+    fn rendered_report_validates_round_trip() {
+        let report = fixture_report();
+        let json = to_json(&report);
+        assert_eq!(validate_json(&json), Ok(2));
+        assert!(json.starts_with("{\"schema\":\"ssr-analysis/v1\""));
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"schema\":\"nope\",\"certified\":true,\"families\":[]}").is_err());
+        assert!(validate_json("{\"schema\":\"ssr-analysis/v1\",\"certified\":true").is_err());
+        // A certified family reporting errors is inconsistent.
+        let bad = "{\"schema\":\"ssr-analysis/v1\",\"certified\":true,\"families\":[\
+                   {\"family\":\"x\",\"certified\":true,\"analyzable\":true,\"errors\":2,\
+                   \"warnings\":0,\"skipped\":[],\"graphs\":[],\"audit\":{\"runs\":0,\"steps\":0,\
+                   \"select_draws\":0,\"apply_draws\":0,\"guards_draws\":0,\"findings\":[]},\
+                   \"hygiene\":[]}]}";
+        assert!(validate_json(bad).unwrap_err().contains("certified"));
+    }
+
+    #[test]
+    fn validator_rejects_unknown_finding_kinds() {
+        let bad = "{\"schema\":\"ssr-analysis/v1\",\"certified\":false,\"families\":[\
+                   {\"family\":\"x\",\"certified\":false,\"analyzable\":true,\"errors\":1,\
+                   \"warnings\":0,\"skipped\":[],\"graphs\":[],\"audit\":{\"runs\":0,\"steps\":0,\
+                   \"select_draws\":0,\"apply_draws\":0,\"guards_draws\":0,\"findings\":[]},\
+                   \"hygiene\":[{\"kind\":\"mystery\",\"severity\":\"error\",\"rule\":null,\
+                   \"graph\":null,\"detail\":\"?\"}]}]}";
+        assert!(validate_json(bad).unwrap_err().contains("vocabulary"));
+    }
+
+    #[test]
+    fn human_table_names_every_family_and_verdict() {
+        let report = fixture_report();
+        let table = human_table(&report);
+        assert!(table.contains("fixture-far-sight"));
+        assert!(table.contains("fixture-shadowed-pair"));
+        assert!(table.contains("VIOLATIONS"));
+        assert!(table.contains("non-local-guard"));
+        assert!(table.contains("shadowed-rule"));
+    }
+}

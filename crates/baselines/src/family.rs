@@ -9,9 +9,12 @@
 //! [`Verdict::NoBound`](ssr_runtime::family::Verdict::NoBound).
 
 use ssr_graph::{Graph, NodeId};
+use ssr_runtime::analysis::{
+    audit_runs, collect_footprints, AnalyzeFamily, AnalyzeOptions, GraphAnalysis, RngAudit,
+};
 use ssr_runtime::family::{
-    AlgorithmSpec, ExecBudget, Family, FamilyProbe, FamilyRunOutcome, InitPlan, ProbeBridge,
-    RunSeeds,
+    explore_sample_seeds, AlgorithmSpec, ExecBudget, Family, FamilyProbe, FamilyRunOutcome,
+    InitPlan, ProbeBridge, RunSeeds,
 };
 use ssr_runtime::rng::Xoshiro256StarStar;
 use ssr_runtime::{Daemon, Simulator};
@@ -40,6 +43,24 @@ pub fn mono_reset_spec() -> AlgorithmSpec {
 /// safety predicate.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CfgUnisonFamily;
+
+impl CfgUnisonFamily {
+    /// The analysis seed set: `γ_init`, the torn gradient, and
+    /// `samples` arbitrary clock vectors.
+    fn seed_set(graph: &Graph, scenario_seed: u64, samples: usize) -> (CfgUnison, Vec<Vec<u64>>) {
+        let nn = graph.node_count() as u64;
+        let cfg = CfgUnison::for_graph(graph);
+        let period = cfg.period();
+        let mut inits = vec![
+            cfg.initial_config(graph),
+            unison_tear_plain(graph, period, (nn / 2).max(1)),
+        ];
+        for s in explore_sample_seeds(scenario_seed, samples) {
+            inits.push(cfg.arbitrary_config(graph, s));
+        }
+        (cfg, inits)
+    }
+}
 
 impl Family for CfgUnisonFamily {
     fn id(&self) -> &str {
@@ -90,6 +111,26 @@ impl Family for CfgUnisonFamily {
         // campaign failure.
         fo
     }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
+}
+
+impl AnalyzeFamily for CfgUnisonFamily {
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        ssr_runtime::analysis::rule_names(&CfgUnison::for_graph(graph))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
+    }
 }
 
 /// The mono-initiator reset baseline family (root = node 0): every
@@ -102,6 +143,40 @@ impl Family for CfgUnisonFamily {
 /// configurations.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MonoResetFamily;
+
+impl MonoResetFamily {
+    /// The analysis seed set: `γ_init` plus `samples` configurations
+    /// with arbitrary wave phases and clocks, so every wave rule
+    /// (request, broadcast, feedback, completion) gets exercised.
+    #[allow(clippy::type_complexity)]
+    fn seed_set(
+        graph: &Graph,
+        scenario_seed: u64,
+        samples: usize,
+    ) -> (MonoReset<Unison>, Vec<Vec<MonoState<u64>>>) {
+        let mono = MonoReset::new(graph, Unison::for_graph(graph), NodeId(0));
+        let period = mono.input().period();
+        let mut inits = vec![mono.initial_config(graph)];
+        for s in explore_sample_seeds(scenario_seed, samples) {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(s);
+            inits.push(
+                graph
+                    .nodes()
+                    .map(|_| MonoState {
+                        phase: match rng.below(4) {
+                            0 => Phase::Idle,
+                            1 => Phase::Req,
+                            2 => Phase::RB,
+                            _ => Phase::RF,
+                        },
+                        inner: rng.below(period),
+                    })
+                    .collect(),
+            );
+        }
+        (mono, inits)
+    }
+}
 
 impl Family for MonoResetFamily {
     fn id(&self) -> &str {
@@ -149,6 +224,30 @@ impl Family for MonoResetFamily {
         let mut fo = FamilyRunOutcome::from_run(&out, sim.stats().steps);
         fo.max_moves_per_process = sim.stats().max_moves_per_process();
         fo
+    }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
+}
+
+impl AnalyzeFamily for MonoResetFamily {
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        ssr_runtime::analysis::rule_names(&MonoReset::new(
+            graph,
+            Unison::for_graph(graph),
+            NodeId(0),
+        ))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
     }
 }
 

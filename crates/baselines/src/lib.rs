@@ -35,6 +35,8 @@
 //! assert!(out.reached, "CFG unison stabilizes");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cfg_unison;
 pub mod columns;
 pub mod family;

@@ -14,6 +14,8 @@
 //! profiles: `quick` (small sizes, used by `cargo test`) and full
 //! (`cargo run -p ssr-bench --bin experiments --release`).
 
+#![forbid(unsafe_code)]
+
 pub mod ctx;
 pub mod experiments;
 pub mod workloads;

@@ -168,4 +168,46 @@ mod tests {
         assert!(registry.resolve_label("fga-sdr:unknown").is_none());
         assert!(registry.resolve_label("nope").is_none());
     }
+
+    /// Every standard label exposes the analysis hook — the release
+    /// gate (`analyze` bin) certifies them at full depth; here a
+    /// debug-affordable slice must already come back clean.
+    #[test]
+    fn standard_families_are_analyzable_and_a_sample_certifies() {
+        use ssr_runtime::analysis::AnalyzeOptions;
+
+        let registry = default_registry();
+        for label in registry.labels() {
+            let family = registry.resolve_label(&label).unwrap();
+            assert!(
+                family.analysis().is_some(),
+                "{label} must expose the analysis hook"
+            );
+        }
+        let opts = AnalyzeOptions {
+            max_configs: 200,
+            samples: 2,
+            audit_runs: 1,
+            audit_steps: 15,
+            ..AnalyzeOptions::default()
+        };
+        for label in ["unison-sdr", "cfg-unison", "fga:domination(1,0)"] {
+            let family = registry.resolve_label(label).unwrap();
+            let analyze = family.analysis().unwrap();
+            let g = ssr_graph::generators::path(3);
+            let fp = analyze.footprints(&g, "path3", &opts);
+            assert!(
+                fp.findings.is_empty(),
+                "{label} on path3 must be clean: {:?}",
+                fp.findings
+            );
+            let audit = analyze.audit(&g, &opts);
+            assert!(
+                audit.findings.is_empty(),
+                "{label} audit must be clean: {:?}",
+                audit.findings
+            );
+            assert_eq!(audit.apply_draws + audit.guards_draws, 0);
+        }
+    }
 }

@@ -40,6 +40,8 @@
 //! assert_eq!(output::jsonl(&records).lines().count(), records.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod families;
 mod grid;

@@ -15,6 +15,9 @@
 //! the repository root.
 
 use ssr_graph::Graph;
+use ssr_runtime::analysis::{
+    audit_runs, collect_footprints, AnalyzeFamily, AnalyzeOptions, GraphAnalysis, RngAudit,
+};
 use ssr_runtime::exhaustive::{ExploreOptions, ExploreState};
 use ssr_runtime::family::{
     explore_sample_seeds, explore_with_replay, stochastic_max_runs, AlgorithmSpec, Bounds,
@@ -206,6 +209,10 @@ where
     fn explore(&self) -> Option<&dyn ExploreFamily> {
         Some(self)
     }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
 }
 
 impl<I> ComposedFamily<I>
@@ -279,6 +286,26 @@ where
             trials,
             cap,
         )
+    }
+}
+
+impl<I> AnalyzeFamily for ComposedFamily<I>
+where
+    I: ResetInput + Clone + Send + Sync + 'static,
+    I::State: ExploreState + Send + Sync,
+{
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        ssr_runtime::analysis::rule_names(&self.instantiate(graph))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = self.seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = self.seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
     }
 }
 

@@ -40,6 +40,8 @@
 //! assert!(out.rounds_at_hit <= 3 * 6); // Corollary 5: ≤ 3n rounds
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analysis;
 pub mod columns;
 pub mod family;

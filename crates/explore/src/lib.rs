@@ -82,6 +82,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 
 pub use ssr_runtime::exhaustive::{

@@ -34,6 +34,8 @@
 //! assert_eq!(ssr_graph::metrics::diameter(&g), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bitset;
 mod builder;
 pub mod coloring;

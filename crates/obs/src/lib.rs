@@ -38,6 +38,8 @@
 //! See [`observers`] for a worked `Execution::of(...).observe(...)`
 //! example.
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod observers;
 pub mod pipeline;

@@ -147,18 +147,55 @@ impl RuleMask {
 
     /// Iterates enabled rules in ascending index order.
     pub fn iter(self) -> impl Iterator<Item = RuleId> {
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                None
-            } else {
-                let r = bits.trailing_zeros() as u8;
-                bits &= bits - 1;
-                Some(RuleId(r))
-            }
-        })
+        iter_ones(self.0).map(|i| RuleId(i as u8))
     }
 }
+
+impl IntoIterator for RuleMask {
+    type Item = RuleId;
+    type IntoIter = std::iter::Map<IterOnes, fn(u32) -> RuleId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        iter_ones(self.0).map(|i| RuleId(i as u8))
+    }
+}
+
+/// Iterates the set bit positions of `bits` in ascending order — the
+/// one place the `trailing_zeros` / clear-lowest-bit idiom lives.
+/// [`RuleMask::iter`] and the exhaustive engine's mask decoding both
+/// delegate here.
+#[inline]
+pub fn iter_ones(bits: u32) -> IterOnes {
+    IterOnes { bits }
+}
+
+/// Iterator returned by [`iter_ones`].
+#[derive(Clone, Copy, Debug)]
+pub struct IterOnes {
+    bits: u32,
+}
+
+impl Iterator for IterOnes {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.bits == 0 {
+            None
+        } else {
+            let i = self.bits.trailing_zeros();
+            self.bits &= self.bits - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for IterOnes {}
 
 impl fmt::Debug for RuleMask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -346,6 +383,27 @@ mod tests {
     fn rule_mask_from_bool() {
         assert!(RuleMask::from_bool(false).is_empty());
         assert_eq!(RuleMask::from_bool(true).first(), Some(RuleId(0)));
+    }
+
+    #[test]
+    fn iter_ones_ascending_and_exact() {
+        assert_eq!(iter_ones(0).count(), 0);
+        let it = iter_ones(0b1010_0101);
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 2, 5, 7]);
+        assert_eq!(iter_ones(u32::MAX).count(), 32);
+    }
+
+    #[test]
+    fn rule_mask_into_iterator_matches_iter() {
+        let m = RuleMask::just(RuleId(1)).with(RuleId(6)).with(RuleId(30));
+        let via_iter: Vec<_> = m.iter().collect();
+        let mut via_for = Vec::new();
+        for r in m {
+            via_for.push(r);
+        }
+        assert_eq!(via_iter, via_for);
+        assert_eq!(via_for, vec![RuleId(1), RuleId(6), RuleId(30)]);
     }
 
     #[test]

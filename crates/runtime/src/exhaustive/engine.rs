@@ -266,13 +266,7 @@ impl<S> Space<S> {
 }
 
 fn nodes_of_mask(mask: u32) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(mask.count_ones() as usize);
-    let mut bits = mask;
-    while bits != 0 {
-        out.push(NodeId(bits.trailing_zeros()));
-        bits &= bits - 1;
-    }
-    out
+    crate::algorithm::iter_ones(mask).map(NodeId).collect()
 }
 
 /// Largest graph the explorer accepts (masks are `u32`; practical
@@ -579,12 +573,9 @@ where
     for pm in masks {
         let mut cfg = config.clone();
         let mut node_mask = 0u32;
-        let mut b = pm;
-        while b != 0 {
-            let i = b.trailing_zeros() as usize;
-            b &= b - 1;
-            let u = enabled_nodes[i];
-            cfg[u.index()] = nexts[i].clone();
+        for i in crate::algorithm::iter_ones(pm) {
+            let u = enabled_nodes[i as usize];
+            cfg[u.index()] = nexts[i as usize].clone();
             node_mask |= 1 << u.0;
         }
         let key = encode_config(&cfg, scratch);

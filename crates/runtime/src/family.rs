@@ -451,6 +451,15 @@ pub trait Family: Send + Sync {
     fn explore(&self) -> Option<&dyn ExploreFamily> {
         None
     }
+
+    /// The family's soundness-analysis hook
+    /// ([`crate::analysis::AnalyzeFamily`]). `None` means the family's
+    /// locality/commutativity/RNG obligations cannot be certified —
+    /// `ssr-analyze` reports that as an error, so registered families
+    /// are expected to implement it.
+    fn analysis(&self) -> Option<&dyn crate::analysis::AnalyzeFamily> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -75,7 +75,10 @@
 //! assert_eq!(sim.stats().completed_rounds, 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod algorithm;
+pub mod analysis;
 mod daemon;
 pub mod exec;
 pub mod exhaustive;
@@ -88,7 +91,13 @@ pub mod soa;
 mod step;
 pub mod trace;
 
-pub use algorithm::{Algorithm, ConfigView, MapView, RuleId, RuleMask, StateView};
+pub use algorithm::{
+    iter_ones, Algorithm, ConfigView, IterOnes, MapView, RuleId, RuleMask, StateView,
+};
+pub use analysis::{
+    AnalyzeFamily, AnalyzeOptions, Finding, FindingKind, GraphAnalysis, OverlapStat, RngAudit,
+    RuleStats, Severity, TrackedView,
+};
 pub use daemon::Daemon;
 pub use exec::{Execution, NoObserver, NoPredicate, Observer, RunReport};
 pub use family::{

@@ -29,9 +29,18 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// xoshiro256** — a fast, high-quality, deterministic PRNG.
+///
+/// The generator counts its own draws ([`Xoshiro256StarStar::draws`]):
+/// every derived sampler (`below`, `f64`, `chance`, …) funnels through
+/// [`Xoshiro256StarStar::next_u64`], so the counter is an exact audit
+/// trail of randomness consumption. The step pipeline snapshots it at
+/// phase boundaries, which is how `ssr-analyze` *proves* that all
+/// draws happen in the sequential select phase (the RNG-discipline
+/// obligation behind deterministic intra-run parallelism).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Xoshiro256StarStar {
     s: [u64; 4],
+    draws: u64,
 }
 
 impl Xoshiro256StarStar {
@@ -44,12 +53,20 @@ impl Xoshiro256StarStar {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Xoshiro256StarStar { s }
+        Xoshiro256StarStar { s, draws: 0 }
+    }
+
+    /// Raw 64-bit outputs produced so far (each derived sampler costs
+    /// exactly one draw). Seed expansion does not count.
+    #[inline]
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
@@ -188,5 +205,23 @@ mod tests {
         let mut c1 = r.fork();
         let mut c2 = r.fork();
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn draw_counter_is_exact() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(6);
+        assert_eq!(r.draws(), 0, "seed expansion is not a draw");
+        r.next_u64();
+        assert_eq!(r.draws(), 1);
+        r.below(10);
+        r.f64();
+        r.chance(0.3);
+        assert_eq!(r.draws(), 4, "every derived sampler costs one draw");
+        let mut v = [1u8, 2, 3, 4];
+        r.shuffle(&mut v);
+        assert_eq!(r.draws(), 4 + 3, "Fisher–Yates draws n-1 indices");
+        let child = r.fork();
+        assert_eq!(r.draws(), 8, "forking costs the parent one draw");
+        assert_eq!(child.draws(), 0, "children start fresh");
     }
 }

@@ -178,6 +178,10 @@ pub struct Simulator<'g, A: Algorithm> {
     /// Installed trace sink (`None` = tracing disabled, the default;
     /// see [`crate::trace`] for the zero-cost contract).
     trace: Option<Box<dyn TraceSink>>,
+    /// RNG draws of the most recent step, split by pipeline phase
+    /// (select / apply / guards) — the audit trail behind the
+    /// "all draws happen in select" determinism contract.
+    last_phase_draws: [u64; 3],
     // Scratch buffers (reused across steps).
     selected: Vec<NodeId>,
     last_activated: Vec<(NodeId, RuleId)>,
@@ -232,6 +236,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             conflict: None,
             last_conflict_classes: None,
             trace: None,
+            last_phase_draws: [0; 3],
             selected: Vec::new(),
             last_activated: Vec::new(),
             next_buf: Vec::new(),
@@ -420,6 +425,14 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
         &self.last_activated
     }
 
+    /// RNG draws consumed by the most recent step, split by phase as
+    /// `[select, apply, guards]`. The pipeline's determinism contract
+    /// is that apply and guards draw nothing — `ssr-analyze` audits
+    /// exactly that; `[0, 0, 0]` before the first step.
+    pub fn last_step_phase_draws(&self) -> [u64; 3] {
+        self.last_phase_draws
+    }
+
     /// Stabilization rounds if the predicate held *now* (partial round
     /// counts as one).
     pub fn rounds_now(&self) -> u64 {
@@ -482,6 +495,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
 
         // Phase 1 (select): daemon choice + rule resolution. Owns every
         // RNG draw of the step; always sequential.
+        let draws_at_start = self.rng.draws();
         let mut selected = std::mem::take(&mut self.selected);
         self.daemon.select(
             &self.enabled_list,
@@ -518,6 +532,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
             }
             *clock = now;
         }
+        let draws_after_select = self.rng.draws();
 
         // Phase 2 (apply): next states against the *old* configuration.
         let mut next = std::mem::take(&mut self.next_buf);
@@ -570,6 +585,7 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
                 conflict_classes: self.last_conflict_classes,
             });
         }
+        let draws_after_apply = self.rng.draws();
 
         // Phase 3 (guards): re-evaluate movers and their neighbors —
         // the only nodes whose guards can have changed (§2.2 locality).
@@ -638,6 +654,12 @@ impl<'g, A: Algorithm> Simulator<'g, A> {
 
         self.refresh_buf = refresh;
         self.mask_buf = new_masks;
+        let draws_at_end = self.rng.draws();
+        self.last_phase_draws = [
+            draws_after_select - draws_at_start,
+            draws_after_apply - draws_after_select,
+            draws_at_end - draws_after_apply,
+        ];
         let activated = self.last_activated.len();
         selected.clear();
         self.selected = selected;
@@ -847,6 +869,21 @@ mod tests {
         let mut init = vec![false; n];
         init[0] = true;
         (init, g)
+    }
+
+    #[test]
+    fn phase_draws_confined_to_select() {
+        let (init, g) = flood_path(8);
+        let mut sim = Simulator::new(&g, Flood, init, Daemon::RandomSubset { p: 0.5 }, 42);
+        sim.set_random_rule_choice(true);
+        assert_eq!(sim.last_step_phase_draws(), [0, 0, 0]);
+        let mut any_select_draws = false;
+        while let StepOutcome::Progress { .. } = sim.step() {
+            let [select, apply, guards] = sim.last_step_phase_draws();
+            any_select_draws |= select > 0;
+            assert_eq!((apply, guards), (0, 0), "apply/guards must not draw");
+        }
+        assert!(any_select_draws, "a random daemon draws during select");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! [`FamilyRegistry`](ssr_runtime::family::FamilyRegistry).
 
 use ssr_core::family::max_sdr_moves_per_process;
-use ssr_core::{validate, Standalone};
+use ssr_core::{validate, ResetInput, Standalone};
 use ssr_graph::Graph;
+use ssr_runtime::analysis::{
+    audit_runs, collect_footprints, AnalyzeFamily, AnalyzeOptions, GraphAnalysis, RngAudit,
+};
 use ssr_runtime::exhaustive::ExploreOptions;
 use ssr_runtime::family::{
     explore_sample_seeds, explore_with_replay, stochastic_max_runs, AlgorithmSpec, Bounds,
@@ -145,6 +148,26 @@ impl Family for UnisonSdrFamily {
     fn explore(&self) -> Option<&dyn ExploreFamily> {
         Some(self)
     }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
+}
+
+impl AnalyzeFamily for UnisonSdrFamily {
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        ssr_runtime::analysis::rule_names(&unison_sdr(Unison::for_graph(graph)))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
+    }
 }
 
 impl ExploreFamily for UnisonSdrFamily {
@@ -205,6 +228,37 @@ impl ExploreFamily for UnisonSdrFamily {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct UnisonFamily;
 
+impl UnisonFamily {
+    /// The analysis seed set: `γ_init`, the plain-clock tear, and
+    /// `samples` uniformly corrupted clock vectors — the standalone
+    /// family has no explore hook, so its analysis coverage is built
+    /// here directly.
+    fn seed_set(
+        graph: &Graph,
+        scenario_seed: u64,
+        samples: usize,
+    ) -> (Standalone<Unison>, Vec<Vec<u64>>) {
+        let unison = Unison::for_graph(graph);
+        let period = unison.period();
+        let algo = Standalone::new(unison);
+        let nn = graph.node_count() as u64;
+        let mut inits = vec![
+            algo.initial_config(graph),
+            unison_tear_plain(graph, period, (nn / 2).max(1)),
+        ];
+        for s in explore_sample_seeds(scenario_seed, samples) {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(s);
+            inits.push(
+                graph
+                    .nodes()
+                    .map(|u| algo.inner().arbitrary_state(u, &mut rng))
+                    .collect(),
+            );
+        }
+        (algo, inits)
+    }
+}
+
 impl Family for UnisonFamily {
     fn id(&self) -> &str {
         "unison"
@@ -259,6 +313,26 @@ impl Family for UnisonFamily {
             validate::check_requirements(&Unison::for_graph(graph), graph)
                 .map_err(|e| e.to_string()),
         )
+    }
+
+    fn analysis(&self) -> Option<&dyn AnalyzeFamily> {
+        Some(self)
+    }
+}
+
+impl AnalyzeFamily for UnisonFamily {
+    fn rule_names(&self, graph: &Graph) -> Vec<String> {
+        ssr_runtime::analysis::rule_names(&Standalone::new(Unison::for_graph(graph)))
+    }
+
+    fn footprints(&self, graph: &Graph, graph_name: &str, opts: &AnalyzeOptions) -> GraphAnalysis {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        collect_footprints(graph, graph_name, &algo, &inits, opts)
+    }
+
+    fn audit(&self, graph: &Graph, opts: &AnalyzeOptions) -> RngAudit {
+        let (algo, inits) = Self::seed_set(graph, opts.scenario_seed, opts.samples);
+        audit_runs(graph, &algo, &inits, opts)
     }
 }
 

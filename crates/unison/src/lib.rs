@@ -39,6 +39,8 @@
 //! assert!(spec::safety_holds(&g, &clocks, check.input().period()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod columns;
 pub mod family;
 pub mod spec;

@@ -22,6 +22,7 @@
 
 use std::sync::Arc;
 
+use ssr::analyze;
 use ssr::campaign::{engine, families, Campaign, InitPlan, Scenario, TopologySpec};
 use ssr::core::family::composed;
 use ssr::core::{validate, ResetInput};
@@ -29,7 +30,7 @@ use ssr::explore::campaign::{explore_scenario_in, stochastic_max_in, ScenarioExp
 use ssr::graph::NodeId;
 use ssr::runtime::family::{AlgorithmSpec, FamilyRegistry};
 use ssr::runtime::rng::Xoshiro256StarStar;
-use ssr::runtime::{Daemon, RuleId, RuleMask, StateView};
+use ssr::runtime::{AnalyzeOptions, Daemon, RuleId, RuleMask, StateView};
 
 /// The new input algorithm: a bounded *relaxation* process. Every
 /// process holds `x ∈ {0, …, cap}`; a process that is a local maximum
@@ -231,6 +232,26 @@ fn main() {
             stoch.rounds
         );
     }
+
+    // ---- 4. Static soundness certification ---------------------------
+    //
+    // The step pipeline's fast paths are only correct for families
+    // that honor locality, non-adjacent commutativity, and RNG
+    // discipline (DESIGN.md §11). A registered `composed()` family
+    // gets the analysis hook for free — certify it exactly the way
+    // the CI gate certifies the standard registry.
+    let report = analyze::analyze_family(family.as_ref(), &AnalyzeOptions::default());
+    assert!(
+        report.analyzable && report.certified(),
+        "cooldown must satisfy the §11 soundness obligations: {:?}",
+        report.findings().collect::<Vec<_>>()
+    );
+    println!(
+        "static analysis: certified on {} graphs ({} configurations, {} findings)",
+        report.graphs.len(),
+        report.graphs.iter().map(|g| g.configs).sum::<usize>(),
+        report.error_count() + report.warning_count(),
+    );
 
     println!("\nCooldown ∘ SDR: a family the workspace has never heard of, verified end to end.");
 }

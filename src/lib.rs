@@ -19,6 +19,7 @@
 //! | [`campaign`] | `ssr-campaign` | scenario campaigns, parallel batch engine, standard family registry (`campaign::families`), JSONL/CSV results |
 //! | [`explore`] | `ssr-explore` | exhaustive schedule-space explorer, exact worst-case bounds, witness traces |
 //! | [`obs`] | `ssr-obs` | zero-cost tracing sinks, metrics registry, campaign progress, run timelines |
+//! | [`analyze`] | `ssr-analyze` | static soundness certification: footprint analysis, locality/commutativity audit, rule-table lints, `ANALYSIS.json` |
 //!
 //! # Quickstart
 //!
@@ -39,7 +40,10 @@
 //! assert!(out.reached && out.rounds_at_hit <= 30); // ≤ 3n rounds
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ssr_alliance as alliance;
+pub use ssr_analyze as analyze;
 pub use ssr_baselines as baselines;
 pub use ssr_campaign as campaign;
 pub use ssr_core as core;
