@@ -3,10 +3,10 @@
 //! The workspace is serde-free, so the writer emits JSON by hand with
 //! a fixed key order (reports are byte-stable across thread counts —
 //! the CI gate `cmp`s two renderings), and [`validate_json`] checks a
-//! document against the `ssr-analysis/v1` schema with a minimal
-//! recursive-descent parser.
+//! document against the `ssr-analysis/v1` schema using the shared
+//! recursive-descent parser in [`ssr_obs::json`] (which started life
+//! here before moving to its one home).
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use ssr_runtime::analysis::{Finding, GraphAnalysis, RngAudit, Severity};
@@ -217,246 +217,18 @@ pub fn human_table(report: &AnalysisReport) -> String {
 // Validator
 // ---------------------------------------------------------------------
 
-/// A minimal JSON value — just enough structure for schema checking.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
+use ssr_obs::json::{self, Value};
+
+fn expect_num(v: &Value, key: &str, what: &str) -> Result<f64, String> {
+    json::num_field(v, key, what)
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+fn expect_bool(v: &Value, key: &str, what: &str) -> Result<bool, String> {
+    json::bool_field(v, key, what)
 }
 
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected `{lit}`")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        s.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("bad number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            if self.pos + 5 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 sequences pass through unsplit.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            map.insert(key, val);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(map));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-}
-
-fn parse(s: &str) -> Result<Value, String> {
-    let mut p = Parser::new(s);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing content"));
-    }
-    Ok(v)
-}
-
-fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, String> {
-    obj.get(key).ok_or_else(|| format!("missing key `{key}`"))
-}
-
-fn as_obj(v: &Value, what: &str) -> Result<BTreeMap<String, Value>, String> {
-    match v {
-        Value::Obj(m) => Ok(m.clone()),
-        _ => Err(format!("{what} must be an object")),
-    }
-}
-
-fn as_arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], String> {
-    match v {
-        Value::Arr(a) => Ok(a),
-        _ => Err(format!("{what} must be an array")),
-    }
-}
-
-fn expect_num(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<f64, String> {
-    match get(obj, key)? {
-        Value::Num(n) => Ok(*n),
-        _ => Err(format!("{what}.{key} must be a number")),
-    }
-}
-
-fn expect_bool(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<bool, String> {
-    match get(obj, key)? {
-        Value::Bool(b) => Ok(*b),
-        _ => Err(format!("{what}.{key} must be a boolean")),
-    }
-}
-
-fn expect_str(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<String, String> {
-    match get(obj, key)? {
-        Value::Str(s) => Ok(s.clone()),
-        _ => Err(format!("{what}.{key} must be a string")),
-    }
+fn expect_str(v: &Value, key: &str, what: &str) -> Result<String, String> {
+    json::str_field(v, key, what)
 }
 
 const FINDING_CODES: &[&str] = &[
@@ -474,20 +246,21 @@ const FINDING_CODES: &[&str] = &[
 ];
 
 fn check_findings(v: &Value, what: &str) -> Result<usize, String> {
-    let arr = as_arr(v, what)?;
+    let arr = json::arr(v, what)?;
     for (i, f) in arr.iter().enumerate() {
-        let f = as_obj(f, &format!("{what}[{i}]"))?;
-        let kind = expect_str(&f, "kind", what)?;
+        let fwhat = format!("{what}[{i}]");
+        json::obj(f, &fwhat)?;
+        let kind = expect_str(f, "kind", what)?;
         if !FINDING_CODES.contains(&kind.as_str()) {
             return Err(format!(
                 "{what}[{i}].kind `{kind}` is not in the vocabulary"
             ));
         }
-        let sev = expect_str(&f, "severity", what)?;
+        let sev = expect_str(f, "severity", what)?;
         if sev != "error" && sev != "warning" {
             return Err(format!("{what}[{i}].severity must be error|warning"));
         }
-        expect_str(&f, "detail", what)?;
+        expect_str(f, "detail", what)?;
     }
     Ok(arr.len())
 }
@@ -497,44 +270,51 @@ fn check_findings(v: &Value, what: &str) -> Result<usize, String> {
 /// the `certified` roll-ups with the findings they summarize. Returns
 /// the number of families on success.
 pub fn validate_json(text: &str) -> Result<usize, String> {
-    let root = as_obj(&parse(text)?, "document")?;
+    let root = json::parse(text)?;
+    json::obj(&root, "document")?;
     let schema = expect_str(&root, "schema", "document")?;
     if schema != SCHEMA {
         return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
     }
     let overall = expect_bool(&root, "certified", "document")?;
-    let families = as_arr(get(&root, "families")?, "families")?;
+    let families = json::arr(json::field(&root, "families", "document")?, "families")?;
     let mut all_certified = true;
     for (i, fam) in families.iter().enumerate() {
         let what = format!("families[{i}]");
-        let fam = as_obj(fam, &what)?;
-        expect_str(&fam, "family", &what)?;
-        let certified = expect_bool(&fam, "certified", &what)?;
-        expect_bool(&fam, "analyzable", &what)?;
-        let errors = expect_num(&fam, "errors", &what)?;
-        expect_num(&fam, "warnings", &what)?;
-        as_arr(get(&fam, "skipped")?, &format!("{what}.skipped"))?;
+        json::obj(fam, &what)?;
+        expect_str(fam, "family", &what)?;
+        let certified = expect_bool(fam, "certified", &what)?;
+        expect_bool(fam, "analyzable", &what)?;
+        let errors = expect_num(fam, "errors", &what)?;
+        expect_num(fam, "warnings", &what)?;
+        json::arr(
+            json::field(fam, "skipped", &what)?,
+            &format!("{what}.skipped"),
+        )?;
         if certified && errors != 0.0 {
             return Err(format!("{what} is certified but reports {errors} errors"));
         }
         all_certified &= certified;
-        for (j, g) in as_arr(get(&fam, "graphs")?, &format!("{what}.graphs"))?
-            .iter()
-            .enumerate()
+        for (j, g) in json::arr(
+            json::field(fam, "graphs", &what)?,
+            &format!("{what}.graphs"),
+        )?
+        .iter()
+        .enumerate()
         {
             let gwhat = format!("{what}.graphs[{j}]");
-            let g = as_obj(g, &gwhat)?;
-            expect_str(&g, "graph", &gwhat)?;
-            expect_num(&g, "nodes", &gwhat)?;
-            expect_num(&g, "configs", &gwhat)?;
-            expect_bool(&g, "truncated", &gwhat)?;
-            for (k, r) in as_arr(get(&g, "rules")?, &format!("{gwhat}.rules"))?
+            json::obj(g, &gwhat)?;
+            expect_str(g, "graph", &gwhat)?;
+            expect_num(g, "nodes", &gwhat)?;
+            expect_num(g, "configs", &gwhat)?;
+            expect_bool(g, "truncated", &gwhat)?;
+            for (k, r) in json::arr(json::field(g, "rules", &gwhat)?, &format!("{gwhat}.rules"))?
                 .iter()
                 .enumerate()
             {
                 let rwhat = format!("{gwhat}.rules[{k}]");
-                let r = as_obj(r, &rwhat)?;
-                expect_str(&r, "name", &rwhat)?;
+                json::obj(r, &rwhat)?;
+                expect_str(r, "name", &rwhat)?;
                 for key in [
                     "enabled",
                     "fired_first",
@@ -545,13 +325,17 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                     "guard_reads_max",
                     "action_reads_max",
                 ] {
-                    expect_num(&r, key, &rwhat)?;
+                    expect_num(r, key, &rwhat)?;
                 }
             }
-            check_findings(get(&g, "findings")?, &format!("{gwhat}.findings"))?;
+            check_findings(
+                json::field(g, "findings", &gwhat)?,
+                &format!("{gwhat}.findings"),
+            )?;
         }
         let awhat = format!("{what}.audit");
-        let audit = as_obj(get(&fam, "audit")?, &awhat)?;
+        let audit = json::field(fam, "audit", &what)?;
+        json::obj(audit, &awhat)?;
         for key in [
             "runs",
             "steps",
@@ -559,10 +343,16 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
             "apply_draws",
             "guards_draws",
         ] {
-            expect_num(&audit, key, &awhat)?;
+            expect_num(audit, key, &awhat)?;
         }
-        check_findings(get(&audit, "findings")?, &format!("{awhat}.findings"))?;
-        check_findings(get(&fam, "hygiene")?, &format!("{what}.hygiene"))?;
+        check_findings(
+            json::field(audit, "findings", &awhat)?,
+            &format!("{awhat}.findings"),
+        )?;
+        check_findings(
+            json::field(fam, "hygiene", &what)?,
+            &format!("{what}.hygiene"),
+        )?;
     }
     if overall != all_certified {
         return Err("document `certified` disagrees with its families".to_string());

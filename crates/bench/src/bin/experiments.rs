@@ -15,14 +15,18 @@
 //! cargo run -p ssr-bench --bin experiments --release -- --progress  # live stderr progress
 //! cargo run -p ssr-bench --bin experiments --release -- --metrics M.json # pipeline metrics
 //! cargo run -p ssr-bench --bin experiments --release -- --trace DIR # per-scenario JSONL traces
+//! cargo run -p ssr-bench --bin experiments --release -- --report DIR # self-contained HTML report
 //! ```
 //!
 //! `--progress` streams scenario completion (done/total, ETA, busy
 //! workers) to stderr; `--metrics PATH` writes the merged pipeline
 //! metrics snapshot (schema `ssr-metrics-v1`, human table on stderr);
 //! `--trace DIR` writes one JSONL event trace per scenario under
-//! `DIR/<campaign-id>/` (schema in `DESIGN.md` §10). All three are
-//! read-only: tables and JSON results stay byte-identical.
+//! `DIR/<campaign-id>/` (schema in `DESIGN.md` §10); `--report DIR`
+//! persists the drained campaign records (plus metrics, plus whatever
+//! traces land under the same directory) and renders a self-contained
+//! `DIR/report.html` (`DESIGN.md` §12). All four are read-only:
+//! tables and JSON results stay byte-identical.
 //!
 //! `--only E<k>[,E<k>...]` is the flag complement of `--list`: it
 //! selects experiment groups by id (case-insensitive, `+`-joined group
@@ -80,6 +84,7 @@ struct Cli {
     progress: bool,
     metrics: Option<String>,
     trace: Option<String>,
+    report: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -97,6 +102,7 @@ fn parse_cli() -> Result<Cli, String> {
         progress: false,
         metrics: None,
         trace: None,
+        report: None,
     };
     let mut table_format = false;
     let mut it = args.into_iter();
@@ -127,6 +133,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--progress" => cli.progress = true,
             "--metrics" => cli.metrics = Some(it.next().ok_or("--metrics needs a path")?),
             "--trace" => cli.trace = Some(it.next().ok_or("--trace needs a directory")?),
+            "--report" => cli.report = Some(it.next().ok_or("--report needs a directory")?),
             "--algorithms" => {
                 let v = it.next().ok_or("--algorithms needs <label,...>")?;
                 let registry = families::default_registry();
@@ -174,7 +181,7 @@ fn parse_cli() -> Result<Cli, String> {
                 return Err(format!(
                     "unrecognized flag {flag:?} (known: --quick --list --only E<k>[,E<k>...] \
                      --algorithms <label,...> --threads N --format table|json --out PATH \
-                     --progress --metrics PATH --trace DIR)"
+                     --progress --metrics PATH --trace DIR --report DIR)"
                 ));
             }
             id => cli.wanted.push(id.to_lowercase()),
@@ -253,6 +260,9 @@ fn main() {
     if let Some(dir) = &cli.trace {
         ctx = ctx.with_trace_dir(dir);
     }
+    if let Some(dir) = &cli.report {
+        ctx = ctx.with_report_dir(dir);
+    }
 
     let mut all_pass = true;
     let mut results = Vec::new();
@@ -272,6 +282,15 @@ fn main() {
         }
         eprint!("{}", snapshot.render_table());
         eprintln!("metrics written to {path}");
+    }
+
+    match ctx.write_report() {
+        Ok(Some(path)) => eprintln!("report written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 
     if cli.json {

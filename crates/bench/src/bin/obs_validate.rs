@@ -1,24 +1,59 @@
-//! Validates JSONL trace files against the `ssr-obs` event schema
-//! (`DESIGN.md` §10): every line must be a known event carrying its
-//! required keys. Used by CI after running an instrumented experiment.
+//! Validates observability artifacts against their schemas. Used by
+//! CI after running an instrumented experiment.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p ssr-bench --bin obs_validate -- PATH [PATH...]
+//! cargo run -p ssr-bench --bin obs_validate -- --kind metrics PATH [PATH...]
+//! cargo run -p ssr-bench --bin obs_validate -- --kind history PATH [PATH...]
 //! ```
 //!
-//! Each `PATH` is a `.jsonl` trace file or a directory, walked
-//! recursively for `.jsonl` files. Exits nonzero on the first schema
-//! violation, on an empty file, or when no trace file is found at all
-//! (a directory with zero traces usually means the instrumented run
+//! `--kind` selects the schema (default `trace`):
+//!
+//! - `trace` — `.jsonl` event traces (`DESIGN.md` §10): every line a
+//!   known event carrying its required keys
+//! - `metrics` — `.json` snapshots with schema `ssr-metrics-v1`
+//! - `history` — `.jsonl` perf-history stores with schema
+//!   `ssr-history/v1` per line (`DESIGN.md` §12)
+//!
+//! Each `PATH` is a file of the kind's extension or a directory,
+//! walked recursively. Exits nonzero on the first schema violation, on
+//! an empty file, or when no matching file is found at all (a
+//! directory with zero artifacts usually means the instrumented run
 //! silently wrote nothing — that should fail CI, not pass it).
 
 use std::path::{Path, PathBuf};
 
 use ssr_obs::trace::validate_jsonl_line;
+use ssr_report::history::validate_history_line;
+use ssr_report::reader::parse_metrics_json;
 
-fn collect(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Trace,
+    Metrics,
+    History,
+}
+
+impl Kind {
+    fn extension(self) -> &'static str {
+        match self {
+            Kind::Trace | Kind::History => "jsonl",
+            Kind::Metrics => "json",
+        }
+    }
+
+    fn noun(self) -> &'static str {
+        match self {
+            Kind::Trace => "trace",
+            Kind::Metrics => "metrics",
+            Kind::History => "history",
+        }
+    }
+}
+
+fn collect(path: &Path, ext: &str, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if path.is_dir() {
         let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
             .collect::<std::io::Result<Vec<_>>>()?
@@ -27,53 +62,105 @@ fn collect(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
             .collect();
         entries.sort();
         for entry in entries {
-            collect(&entry, out)?;
+            collect(&entry, ext, out)?;
         }
-    } else if path.extension().is_some_and(|e| e == "jsonl") {
+    } else if path.extension().is_some_and(|e| e == ext) {
         out.push(path.to_path_buf());
     }
     Ok(())
 }
 
-fn validate_file(path: &Path) -> Result<usize, String> {
+/// Validates one file; returns the unit count (lines, or metrics).
+fn validate_file(kind: Kind, path: &Path) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut lines = 0usize;
-    for (i, line) in text.lines().enumerate() {
-        validate_jsonl_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
-        lines += 1;
+    let count = match kind {
+        Kind::Trace | Kind::History => {
+            let per_line: fn(&str) -> Result<(), String> = match kind {
+                Kind::Trace => validate_jsonl_line,
+                _ => validate_history_line,
+            };
+            let mut lines = 0usize;
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                per_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+                lines += 1;
+            }
+            lines
+        }
+        Kind::Metrics => parse_metrics_json(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .metrics
+            .len(),
+    };
+    if count == 0 {
+        return Err(format!("{}: empty {} file", path.display(), kind.noun()));
     }
-    if lines == 0 {
-        return Err(format!("{}: empty trace file", path.display()));
-    }
-    Ok(lines)
+    Ok(count)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: obs_validate PATH [PATH...]   (each PATH a .jsonl file or directory)");
+    let mut kind = Kind::Trace;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => {
+                kind = match it.next().map(String::as_str) {
+                    Some("trace") => Kind::Trace,
+                    Some("metrics") => Kind::Metrics,
+                    Some("history") => Kind::History,
+                    other => {
+                        eprintln!("error: --kind needs trace|metrics|history, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: obs_validate [--kind trace|metrics|history] PATH [PATH...]\n\
+                     (each PATH a file of the kind's extension or a directory)"
+                );
+                std::process::exit(2);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unrecognized flag {flag:?} (known: --kind)");
+                std::process::exit(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: obs_validate [--kind trace|metrics|history] PATH [PATH...]");
         std::process::exit(2);
     }
     let mut files = Vec::new();
-    for arg in &args {
+    for arg in &paths {
         let path = Path::new(arg);
         if !path.exists() {
             eprintln!("error: {arg}: no such file or directory");
             std::process::exit(2);
         }
-        if let Err(e) = collect(path, &mut files) {
+        if let Err(e) = collect(path, kind.extension(), &mut files) {
             eprintln!("error: {arg}: {e}");
             std::process::exit(2);
         }
     }
     if files.is_empty() {
-        eprintln!("error: no .jsonl trace files under {}", args.join(", "));
+        eprintln!(
+            "error: no .{} {} files under {}",
+            kind.extension(),
+            kind.noun(),
+            paths.join(", ")
+        );
         std::process::exit(1);
     }
     let mut total = 0usize;
     for file in &files {
-        match validate_file(file) {
-            Ok(lines) => total += lines,
+        match validate_file(kind, file) {
+            Ok(count) => total += count,
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
@@ -81,8 +168,9 @@ fn main() {
         }
     }
     println!(
-        "obs_validate: {} event(s) across {} trace file(s) conform to the schema",
+        "obs_validate: {} {} unit(s) across {} file(s) conform to the schema",
         total,
+        kind.noun(),
         files.len()
     );
 }

@@ -15,6 +15,7 @@
 //! cargo run -p ssr-bench --bin scale --release -- --progress  # live cell progress
 //! cargo run -p ssr-bench --bin scale --release -- --metrics PATH # merged metrics JSON
 //! cargo run -p ssr-bench --bin scale --release -- --trace DIR # per-cell JSONL traces
+//! cargo run -p ssr-bench --bin scale --release -- --report DIR # self-contained HTML report
 //! ```
 //!
 //! The workload is `Agreement ∘ SDR` from an adversarial
@@ -215,6 +216,7 @@ fn main() {
     let out = flag_value("--out").unwrap_or_else(|| "BENCH_SCALE.json".into());
     let metrics_out = flag_value("--metrics");
     let trace_dir = flag_value("--trace");
+    let report_dir = flag_value("--report");
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir).expect("create --trace directory");
     }
@@ -315,6 +317,29 @@ fn main() {
     );
     std::fs::write(&out, &doc).expect("write BENCH_SCALE.json");
     println!("wrote {out}");
+    // --report DIR: drop the sweep (and the merged metrics) into the
+    // report directory and render the self-contained HTML page over
+    // everything in it — including any --trace files written beneath.
+    if let Some(dir) = &report_dir {
+        std::fs::create_dir_all(dir).expect("create --report directory");
+        let dir = std::path::Path::new(dir);
+        std::fs::write(dir.join("BENCH_SCALE.json"), &doc).expect("write report scale copy");
+        std::fs::write(
+            dir.join("metrics.json"),
+            format!("{}\n", snapshot.to_json()),
+        )
+        .expect("write report metrics copy");
+        match ssr_report::load_dir(dir).map(|a| ssr_report::render(&a)) {
+            Ok(html) => {
+                std::fs::write(dir.join("report.html"), html).expect("write report.html");
+                println!("wrote {}", dir.join("report.html").display());
+            }
+            Err(e) => {
+                eprintln!("error: cannot render report: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} failure(s)");
         std::process::exit(1);

@@ -1,7 +1,7 @@
 //! [`ExpCtx`]: the execution context threaded through every experiment
 //! group — worker count plus the observability channels selected on
 //! the `experiments` command line (`--progress`, `--metrics`,
-//! `--trace`).
+//! `--trace`, `--report`).
 //!
 //! The context is shared (`&ExpCtx`) across concurrently-running
 //! scenario closures, so its channels are engineered for that shape:
@@ -32,6 +32,12 @@ pub struct ExpCtx {
     /// phase breakdown is its point).
     phase_timing: bool,
     trace_dir: Option<PathBuf>,
+    report_dir: Option<PathBuf>,
+    /// Campaign records accumulated for the report, as
+    /// `(campaign id, JSONL text)` — the exact bytes `--report` will
+    /// persist, so the report inherits the records' thread-count
+    /// determinism.
+    report_rows: Mutex<Vec<(String, String)>>,
 }
 
 impl ExpCtx {
@@ -43,6 +49,8 @@ impl ExpCtx {
             metrics: None,
             phase_timing: false,
             trace_dir: None,
+            report_dir: None,
+            report_rows: Mutex::new(Vec::new()),
         }
     }
 
@@ -77,6 +85,18 @@ impl ExpCtx {
         self
     }
 
+    /// Accumulates every drained campaign's records and, on
+    /// [`ExpCtx::write_report`], persists them (plus the metrics
+    /// snapshot) under `dir` and renders `dir/report.html`. Only
+    /// campaigns drained through [`ExpCtx::run`] appear — custom
+    /// runners ([`ExpCtx::run_with`]) produce no [`ScenarioRecord`]s
+    /// to report.
+    #[must_use]
+    pub fn with_report_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.report_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
     fn wants_obs(&self) -> bool {
         self.progress || self.metrics.is_some() || self.trace_dir.is_some()
     }
@@ -89,11 +109,25 @@ impl ExpCtx {
         Some(dir)
     }
 
+    /// Remembers `records` for the report channel (no-op when
+    /// `--report` is off).
+    fn note_report(&self, campaign_id: &str, records: &[ScenarioRecord]) {
+        if self.report_dir.is_none() || records.is_empty() {
+            return;
+        }
+        self.report_rows.lock().expect("report poisoned").push((
+            campaign_id.to_string(),
+            ssr_campaign::output::jsonl(records),
+        ));
+    }
+
     /// Drains `campaign` through the standard registry —
     /// [`engine::run`] with whatever channels this context enables.
     pub fn run(&self, campaign: &Campaign) -> Vec<ScenarioRecord> {
         if !self.wants_obs() {
-            return engine::run(campaign, self.threads);
+            let records = engine::run(campaign, self.threads);
+            self.note_report(campaign.id(), &records);
+            return records;
         }
         let mut obs = CampaignObs::new();
         if self.progress {
@@ -113,6 +147,7 @@ impl ExpCtx {
         if let (Some(agg), Some(folded)) = (&self.metrics, obs.take_metrics()) {
             agg.lock().expect("metrics poisoned").merge(&folded);
         }
+        self.note_report(campaign.id(), &records);
         records
     }
 
@@ -195,6 +230,35 @@ impl ExpCtx {
         self.metrics
             .as_ref()
             .map(|m| m.lock().expect("metrics poisoned").snapshot())
+    }
+
+    /// Persists everything the report channel accumulated — one
+    /// `campaign-<id>.jsonl` per drained campaign, `metrics.json` when
+    /// `--metrics` is on — under the `--report` directory, then
+    /// renders `report.html` over the whole directory (including any
+    /// traces `--trace` wrote beneath it). Returns the report path, or
+    /// `Ok(None)` when the channel is off.
+    pub fn write_report(&self) -> Result<Option<PathBuf>, String> {
+        let Some(dir) = &self.report_dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for (id, jsonl) in self.report_rows.lock().expect("report poisoned").iter() {
+            let path = dir.join(format!("campaign-{id}.jsonl"));
+            std::fs::write(&path, jsonl)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        if let Some(snapshot) = self.metrics_snapshot() {
+            let path = dir.join("metrics.json");
+            std::fs::write(&path, format!("{}\n", snapshot.to_json()))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        let artifacts = ssr_report::load_dir(dir)?;
+        let html = ssr_report::render(&artifacts);
+        let path = dir.join("report.html");
+        std::fs::write(&path, html).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(Some(path))
     }
 }
 

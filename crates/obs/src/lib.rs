@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod metrics;
 pub mod observers;
 pub mod pipeline;
@@ -47,6 +48,7 @@ pub mod progress;
 pub mod timeline;
 pub mod trace;
 
+pub use json::Value as JsonValue;
 pub use metrics::{Histogram, Metric, MetricsHub, MetricsSet, MetricsSnapshot};
 pub use observers::{ConflictObserver, ConflictSummary, MetricsObserver, TimelineObserver};
 pub use pipeline::{CompositeSink, PipelineMetrics};

@@ -98,26 +98,23 @@ fn required_keys(event_name: &str) -> Option<&'static [&'static str]> {
     })
 }
 
-/// Validates one JSONL trace line against the event schema: known
-/// event name, every required key present. Structural JSON parsing is
-/// deliberately shallow (the workspace has no serde) — this is the
-/// CI gate for traces *this crate* wrote, not a general JSON parser.
+/// Validates one JSONL trace line against the event schema: valid
+/// JSON object, known event name, every required key present. Parsing
+/// goes through the shared [`crate::json`] recursive-descent parser,
+/// so structurally broken lines are rejected, not just missing keys.
 pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
-    let line = line.trim();
-    if !(line.starts_with('{') && line.ends_with('}')) {
+    let value =
+        crate::json::parse(line.trim()).map_err(|e| format!("invalid JSON ({e}): {line:?}"))?;
+    if value.as_obj().is_none() {
         return Err(format!("not a JSON object: {line:?}"));
     }
-    let name_start = line
-        .find("\"event\":\"")
-        .ok_or_else(|| format!("missing \"event\" key: {line:?}"))?
-        + "\"event\":\"".len();
-    let name_len = line[name_start..]
-        .find('"')
-        .ok_or_else(|| format!("unterminated event name: {line:?}"))?;
-    let name = &line[name_start..name_start + name_len];
+    let name = value
+        .get("event")
+        .and_then(crate::json::Value::as_str)
+        .ok_or_else(|| format!("missing \"event\" key: {line:?}"))?;
     let keys = required_keys(name).ok_or_else(|| format!("unknown event {name:?} in: {line:?}"))?;
     for key in keys {
-        if !line.contains(&format!("\"{key}\":")) {
+        if value.get(key).is_none() {
             return Err(format!("event {name:?} is missing key {key:?}: {line:?}"));
         }
     }

@@ -20,6 +20,7 @@
 //! | [`explore`] | `ssr-explore` | exhaustive schedule-space explorer, exact worst-case bounds, witness traces |
 //! | [`obs`] | `ssr-obs` | zero-cost tracing sinks, metrics registry, campaign progress, run timelines |
 //! | [`analyze`] | `ssr-analyze` | static soundness certification: footprint analysis, locality/commutativity audit, rule-table lints, `ANALYSIS.json` |
+//! | [`report`] | `ssr-report` | typed artifact readers, self-contained HTML/SVG campaign reports, perf-history store + regression tripwire |
 //!
 //! # Quickstart
 //!
@@ -50,5 +51,6 @@ pub use ssr_core as core;
 pub use ssr_explore as explore;
 pub use ssr_graph as graph;
 pub use ssr_obs as obs;
+pub use ssr_report as report;
 pub use ssr_runtime as runtime;
 pub use ssr_unison as unison;
