@@ -16,6 +16,7 @@
 //! cargo run -p ssr-bench --bin experiments --release -- --metrics M.json # pipeline metrics
 //! cargo run -p ssr-bench --bin experiments --release -- --trace DIR # per-scenario JSONL traces
 //! cargo run -p ssr-bench --bin experiments --release -- --report DIR # self-contained HTML report
+//! cargo run -p ssr-bench --bin experiments --release -- --checkpoint J.jsonl # resumable sweep
 //! ```
 //!
 //! `--progress` streams scenario completion (done/total, ETA, busy
@@ -27,6 +28,14 @@
 //! traces land under the same directory) and renders a self-contained
 //! `DIR/report.html` (`DESIGN.md` §12). All four are read-only:
 //! tables and JSON results stay byte-identical.
+//!
+//! `--checkpoint PATH` makes the sweep resumable: completed scenarios
+//! are journaled to the `ssr-checkpoint/v1` file at `PATH` as they
+//! finish, and a restarted run replays the journal first, serving
+//! already-done scenarios from the content-addressed cache (same
+//! fingerprints and store as `ssr-serve`; `DESIGN.md` §13). The
+//! journal never changes results — a resumed run's tables and JSON
+//! are byte-identical to an uninterrupted one.
 //!
 //! `--only E<k>[,E<k>...]` is the flag complement of `--list`: it
 //! selects experiment groups by id (case-insensitive, `+`-joined group
@@ -85,6 +94,7 @@ struct Cli {
     metrics: Option<String>,
     trace: Option<String>,
     report: Option<String>,
+    checkpoint: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -103,6 +113,7 @@ fn parse_cli() -> Result<Cli, String> {
         metrics: None,
         trace: None,
         report: None,
+        checkpoint: None,
     };
     let mut table_format = false;
     let mut it = args.into_iter();
@@ -134,6 +145,9 @@ fn parse_cli() -> Result<Cli, String> {
             "--metrics" => cli.metrics = Some(it.next().ok_or("--metrics needs a path")?),
             "--trace" => cli.trace = Some(it.next().ok_or("--trace needs a directory")?),
             "--report" => cli.report = Some(it.next().ok_or("--report needs a directory")?),
+            "--checkpoint" => {
+                cli.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?);
+            }
             "--algorithms" => {
                 let v = it.next().ok_or("--algorithms needs <label,...>")?;
                 let registry = families::default_registry();
@@ -181,7 +195,7 @@ fn parse_cli() -> Result<Cli, String> {
                 return Err(format!(
                     "unrecognized flag {flag:?} (known: --quick --list --only E<k>[,E<k>...] \
                      --algorithms <label,...> --threads N --format table|json --out PATH \
-                     --progress --metrics PATH --trace DIR --report DIR)"
+                     --progress --metrics PATH --trace DIR --report DIR --checkpoint PATH)"
                 ));
             }
             id => cli.wanted.push(id.to_lowercase()),
@@ -262,6 +276,17 @@ fn main() {
     }
     if let Some(dir) = &cli.report {
         ctx = ctx.with_report_dir(dir);
+    }
+    if let Some(path) = &cli.checkpoint {
+        ctx = match ctx.with_checkpoint(path) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let n = ctx.replayed().unwrap_or(0);
+        eprintln!("checkpoint: replayed {n} entries from {path}");
     }
 
     let mut all_pass = true;

@@ -7,6 +7,7 @@
 //! cargo run -p ssr-bench --bin obs_validate -- PATH [PATH...]
 //! cargo run -p ssr-bench --bin obs_validate -- --kind metrics PATH [PATH...]
 //! cargo run -p ssr-bench --bin obs_validate -- --kind history PATH [PATH...]
+//! cargo run -p ssr-bench --bin obs_validate -- --kind checkpoint PATH [PATH...]
 //! ```
 //!
 //! `--kind` selects the schema (default `trace`):
@@ -16,6 +17,10 @@
 //! - `metrics` — `.json` snapshots with schema `ssr-metrics-v1`
 //! - `history` — `.jsonl` perf-history stores with schema
 //!   `ssr-history/v1` per line (`DESIGN.md` §12)
+//! - `checkpoint` — `.jsonl` resumable-sweep journals with schema
+//!   `ssr-checkpoint/v1` (`DESIGN.md` §13): header line plus one
+//!   fingerprinted record per line, strictly (a torn tail fails here
+//!   even though resume tolerates it)
 //!
 //! Each `PATH` is a file of the kind's extension or a directory,
 //! walked recursively. Exits nonzero on the first schema violation, on
@@ -34,12 +39,13 @@ enum Kind {
     Trace,
     Metrics,
     History,
+    Checkpoint,
 }
 
 impl Kind {
     fn extension(self) -> &'static str {
         match self {
-            Kind::Trace | Kind::History => "jsonl",
+            Kind::Trace | Kind::History | Kind::Checkpoint => "jsonl",
             Kind::Metrics => "json",
         }
     }
@@ -49,6 +55,7 @@ impl Kind {
             Kind::Trace => "trace",
             Kind::Metrics => "metrics",
             Kind::History => "history",
+            Kind::Checkpoint => "checkpoint",
         }
     }
 }
@@ -93,6 +100,8 @@ fn validate_file(kind: Kind, path: &Path) -> Result<usize, String> {
             .map_err(|e| format!("{}: {e}", path.display()))?
             .metrics
             .len(),
+        Kind::Checkpoint => ssr_campaign::checkpoint::validate(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?,
     };
     if count == 0 {
         return Err(format!("{}: empty {} file", path.display(), kind.noun()));
@@ -112,15 +121,18 @@ fn main() {
                     Some("trace") => Kind::Trace,
                     Some("metrics") => Kind::Metrics,
                     Some("history") => Kind::History,
+                    Some("checkpoint") => Kind::Checkpoint,
                     other => {
-                        eprintln!("error: --kind needs trace|metrics|history, got {other:?}");
+                        eprintln!(
+                            "error: --kind needs trace|metrics|history|checkpoint, got {other:?}"
+                        );
                         std::process::exit(2);
                     }
                 };
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: obs_validate [--kind trace|metrics|history] PATH [PATH...]\n\
+                    "usage: obs_validate [--kind trace|metrics|history|checkpoint] PATH [PATH...]\n\
                      (each PATH a file of the kind's extension or a directory)"
                 );
                 std::process::exit(2);
@@ -133,7 +145,7 @@ fn main() {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: obs_validate [--kind trace|metrics|history] PATH [PATH...]");
+        eprintln!("usage: obs_validate [--kind trace|metrics|history|checkpoint] PATH [PATH...]");
         std::process::exit(2);
     }
     let mut files = Vec::new();

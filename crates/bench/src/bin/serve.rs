@@ -1,0 +1,98 @@
+//! The campaign-service CLI: binds `ssr-serve`'s HTTP server and runs
+//! until a `POST /shutdown` finishes draining.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ssr-bench --bin serve --release                        # 127.0.0.1:7878
+//! cargo run -p ssr-bench --bin serve --release -- --addr 127.0.0.1:0 # ephemeral port
+//! cargo run -p ssr-bench --bin serve --release -- --threads 8        # engine workers
+//! cargo run -p ssr-bench --bin serve --release -- --checkpoint J.jsonl # resumable store
+//! cargo run -p ssr-bench --bin serve --release -- --port-file P      # write bound port
+//! ```
+//!
+//! `--checkpoint PATH` replays the `ssr-checkpoint/v1` journal at
+//! `PATH` into the content-addressed cache on boot and appends every
+//! fresh record, so a killed server resumes where it left off.
+//! `--port-file PATH` writes the bound port number (a bare integer) to
+//! `PATH` once the listener exists — how CI scripts using `--addr
+//! 127.0.0.1:0` discover the port. The HTTP surface is documented in
+//! `DESIGN.md` §13.
+
+use ssr_serve::{Server, ServerConfig};
+
+struct Cli {
+    config: ServerConfig,
+    port_file: Option<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        config: ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            checkpoint: None,
+        },
+        port_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cli.config.addr = it.next().ok_or("--addr needs host:port")?,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                cli.config.threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or_else(|| format!("invalid --threads value {v:?}"))?;
+            }
+            "--checkpoint" => {
+                cli.config.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?.into());
+            }
+            "--port-file" => cli.port_file = Some(it.next().ok_or("--port-file needs a path")?),
+            flag => {
+                return Err(format!(
+                    "unrecognized argument {flag:?} (known: --addr HOST:PORT --threads N \
+                     --checkpoint PATH --port-file PATH)"
+                ));
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(cli.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+    if server.replayed() > 0 {
+        eprintln!("checkpoint: replayed {} entries", server.replayed());
+    }
+    if let Some(path) = &cli.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("listening on {addr}");
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    println!("drained; bye");
+}

@@ -15,7 +15,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use ssr_campaign::obs::scenario_label;
-use ssr_campaign::{engine, Campaign, CampaignObs, Scenario, ScenarioRecord};
+use ssr_campaign::{
+    engine, CacheLayer, Campaign, CampaignObs, CheckpointWriter, RecordCache, Scenario,
+    ScenarioRecord,
+};
 use ssr_obs::metrics::{MetricsSet, MetricsSnapshot};
 use ssr_obs::pipeline::{CompositeSink, PipelineMetrics};
 use ssr_obs::progress::{Progress, StderrProgress};
@@ -33,6 +36,10 @@ pub struct ExpCtx {
     phase_timing: bool,
     trace_dir: Option<PathBuf>,
     report_dir: Option<PathBuf>,
+    /// The content-addressed store behind `--checkpoint`: fingerprint
+    /// cache plus the journal it resumes from, and how many entries
+    /// the journal replayed at open.
+    store: Option<(RecordCache, CheckpointWriter, usize)>,
     /// Campaign records accumulated for the report, as
     /// `(campaign id, JSONL text)` — the exact bytes `--report` will
     /// persist, so the report inherits the records' thread-count
@@ -50,6 +57,7 @@ impl ExpCtx {
             phase_timing: false,
             trace_dir: None,
             report_dir: None,
+            store: None,
             report_rows: Mutex::new(Vec::new()),
         }
     }
@@ -97,6 +105,35 @@ impl ExpCtx {
         self
     }
 
+    /// Resumes from (and journals into) the `ssr-checkpoint/v1` file
+    /// at `path`: existing entries are replayed into a fingerprint
+    /// cache so already-completed scenarios are served without
+    /// simulating, and every fresh record is appended as it completes.
+    /// A torn final line (killed process) is dropped and healed — the
+    /// crash-resume path is the normal path.
+    pub fn with_checkpoint(mut self, path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let cache = RecordCache::new();
+        let replayed = ssr_campaign::checkpoint::replay_into(path, &cache)?;
+        let writer = CheckpointWriter::open(path)
+            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+        self.store = Some((cache, writer, replayed));
+        Ok(self)
+    }
+
+    /// Entries replayed from the checkpoint at open (`None` when
+    /// `--checkpoint` is off).
+    pub fn replayed(&self) -> Option<usize> {
+        self.store.as_ref().map(|(_, _, n)| *n)
+    }
+
+    fn cache_layer(&self) -> Option<CacheLayer<'_>> {
+        self.store.as_ref().map(|(cache, writer, _)| CacheLayer {
+            cache,
+            checkpoint: Some(writer),
+        })
+    }
+
     fn wants_obs(&self) -> bool {
         self.progress || self.metrics.is_some() || self.trace_dir.is_some()
     }
@@ -124,7 +161,8 @@ impl ExpCtx {
     /// Drains `campaign` through the standard registry —
     /// [`engine::run`] with whatever channels this context enables.
     pub fn run(&self, campaign: &Campaign) -> Vec<ScenarioRecord> {
-        if !self.wants_obs() {
+        let layer = self.cache_layer();
+        if !self.wants_obs() && layer.is_none() {
             let records = engine::run(campaign, self.threads);
             self.note_report(campaign.id(), &records);
             return records;
@@ -143,7 +181,10 @@ impl ExpCtx {
         if let Some(dir) = self.campaign_trace_dir(campaign.id()) {
             obs = obs.with_trace_dir(dir);
         }
-        let records = engine::run_obs(campaign, self.threads, &mut obs);
+        let records = match layer {
+            Some(layer) => engine::run_obs_cached(campaign, self.threads, &mut obs, layer),
+            None => engine::run_obs(campaign, self.threads, &mut obs),
+        };
         if let (Some(agg), Some(folded)) = (&self.metrics, obs.take_metrics()) {
             agg.lock().expect("metrics poisoned").merge(&folded);
         }
@@ -304,6 +345,34 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert!(steps(&grown) > steps(&snap));
+    }
+
+    #[test]
+    fn checkpoint_context_resumes_without_resimulating() {
+        let dir = std::env::temp_dir().join(format!("ssr-ctx-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let c = tiny("ctx-ckpt");
+
+        let cold_ctx = ExpCtx::new(2).with_checkpoint(&path).unwrap();
+        assert_eq!(cold_ctx.replayed(), Some(0));
+        let cold = cold_ctx.run(&c);
+        drop(cold_ctx);
+
+        // A fresh context over the same journal replays every record
+        // and the rerun never touches the simulator (zero pipeline
+        // steps in the metrics it folds).
+        let warm_ctx = ExpCtx::new(2)
+            .with_metrics(false)
+            .with_checkpoint(&path)
+            .unwrap();
+        assert_eq!(warm_ctx.replayed(), Some(c.len()));
+        let warm = warm_ctx.run(&c);
+        assert_eq!(warm, cold, "resumed records are identical");
+        let snap = warm_ctx.metrics_snapshot().unwrap();
+        assert!(snap.get("pipeline.steps").is_none(), "{}", snap.to_json());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -20,10 +20,23 @@ use ssr_obs::metrics::MetricsSet;
 use ssr_obs::progress::Progress;
 use ssr_runtime::family::FamilyRegistry;
 
+use crate::cache::RecordCache;
+use crate::checkpoint::CheckpointWriter;
 use crate::grid::Campaign;
 use crate::obs::{scenario_label, CampaignObs, ObsProbe};
 use crate::runner::{self, ScenarioRecord};
 use crate::scenario::Scenario;
+
+/// The optional content-addressed layer of a cached run: the record
+/// cache consulted before every scenario, plus an optional checkpoint
+/// journal appended after every fresh run.
+#[derive(Clone, Copy)]
+pub struct CacheLayer<'a> {
+    /// Fingerprint → record store; hits skip the simulator entirely.
+    pub cache: &'a RecordCache,
+    /// Journal for crash-resumable sweeps (`ssr-checkpoint/v1`).
+    pub checkpoint: Option<&'a CheckpointWriter>,
+}
 
 /// Runs every scenario of `campaign` through `runner` on up to
 /// `threads` workers (clamped to `[1, campaign.len()]`), returning the
@@ -119,6 +132,47 @@ pub fn run_in_obs(
     threads: usize,
     obs: &mut CampaignObs,
 ) -> Vec<ScenarioRecord> {
+    run_core(registry, campaign, threads, obs, None)
+}
+
+/// [`run_obs`] with a [`CacheLayer`] consulted per scenario: hits are
+/// served from the cache (zero simulator steps — the probe is never
+/// even built), misses run normally, then feed the cache and the
+/// checkpoint journal. Records are byte-identical to an uncached run
+/// (pinned by `tests/cache_equivalence.rs`).
+pub fn run_obs_cached(
+    campaign: &Campaign,
+    threads: usize,
+    obs: &mut CampaignObs,
+    layer: CacheLayer<'_>,
+) -> Vec<ScenarioRecord> {
+    run_in_obs_cached(
+        crate::families::default_registry(),
+        campaign,
+        threads,
+        obs,
+        layer,
+    )
+}
+
+/// [`run_obs_cached`] against a caller-supplied registry.
+pub fn run_in_obs_cached(
+    registry: &FamilyRegistry,
+    campaign: &Campaign,
+    threads: usize,
+    obs: &mut CampaignObs,
+    layer: CacheLayer<'_>,
+) -> Vec<ScenarioRecord> {
+    run_core(registry, campaign, threads, obs, Some(layer))
+}
+
+fn run_core(
+    registry: &FamilyRegistry,
+    campaign: &Campaign,
+    threads: usize,
+    obs: &mut CampaignObs,
+    layer: Option<CacheLayer<'_>>,
+) -> Vec<ScenarioRecord> {
     let total = campaign.len();
     if let Some(p) = obs.progress.as_deref_mut() {
         p.begin(total);
@@ -154,17 +208,48 @@ pub fn run_in_obs(
                             if let Some(p) = progress.lock().unwrap().as_deref_mut() {
                                 p.item_started(w, i, &label);
                             }
-                            let rec = if wants_probe {
-                                let path = trace_dir
-                                    .as_ref()
-                                    .map(|d| d.join(format!("trace-{i:05}.jsonl")));
-                                let mut probe = ObsProbe::new(local.as_mut(), path, phase_timing);
-                                runner::run_scenario_probed(registry, sc, Some(&mut probe))
+                            let fp = layer.map(|_| sc.fingerprint());
+                            let cached = match (layer, fp) {
+                                (Some(layer), Some(fp)) => layer.cache.lookup(fp, &sc),
+                                _ => None,
+                            };
+                            let hit = cached.is_some();
+                            let rec = if let Some(rec) = cached {
+                                // Cache hit: the simulator (and the
+                                // probe feeding pipeline.* metrics)
+                                // never runs.
+                                rec
                             } else {
-                                runner::run_scenario_in(registry, sc)
+                                let rec = if wants_probe {
+                                    let path = trace_dir
+                                        .as_ref()
+                                        .map(|d| d.join(format!("trace-{i:05}.jsonl")));
+                                    let mut probe =
+                                        ObsProbe::new(local.as_mut(), path, phase_timing);
+                                    runner::run_scenario_probed(registry, sc, Some(&mut probe))
+                                } else {
+                                    runner::run_scenario_in(registry, sc)
+                                };
+                                if let (Some(layer), Some(fp)) = (layer, fp) {
+                                    layer.cache.insert(fp, &rec);
+                                    if let Some(journal) = layer.checkpoint {
+                                        if let Err(e) = journal.append(fp, &rec) {
+                                            eprintln!("checkpoint append failed: {e}");
+                                        }
+                                    }
+                                }
+                                rec
                             };
                             if let Some(m) = local.as_mut() {
                                 m.inc("campaign.scenarios", 1);
+                                if layer.is_some() {
+                                    let key = if hit {
+                                        "campaign.cache_hits"
+                                    } else {
+                                        "campaign.cache_misses"
+                                    };
+                                    m.inc(key, 1);
+                                }
                                 if !rec.verdict.ok() {
                                     m.inc("campaign.failed", 1);
                                 }

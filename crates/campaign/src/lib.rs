@@ -42,6 +42,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod checkpoint;
 pub mod engine;
 pub mod families;
 mod grid;
@@ -52,6 +54,9 @@ mod scenario;
 pub mod stats;
 pub mod workloads;
 
+pub use cache::RecordCache;
+pub use checkpoint::CheckpointWriter;
+pub use engine::CacheLayer;
 pub use grid::Campaign;
 pub use obs::CampaignObs;
 pub use runner::{

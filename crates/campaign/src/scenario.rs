@@ -15,6 +15,7 @@
 //! convenience constructors for the built-in labels.
 
 use ssr_graph::{generators, Graph};
+use ssr_runtime::fingerprint::{Canon, Fingerprint, FpEncoder};
 use ssr_runtime::rng::splitmix64;
 use ssr_runtime::Daemon;
 
@@ -85,6 +86,31 @@ impl TopologySpec {
         }
     }
 
+    /// Parses a [`TopologySpec::label`] rendering back — the inverse
+    /// used by campaign-spec deserialization (`None` on anything else).
+    pub fn parse_label(s: &str) -> Option<TopologySpec> {
+        match s {
+            "ring" => return Some(TopologySpec::Ring),
+            "path" => return Some(TopologySpec::Path),
+            "star" => return Some(TopologySpec::Star),
+            "rand-tree" => return Some(TopologySpec::RandTree),
+            "rand-sparse" => return Some(TopologySpec::RandSparse),
+            "rand-dense" => return Some(TopologySpec::RandDense),
+            "grid" => return Some(TopologySpec::Grid),
+            "torus" => return Some(TopologySpec::Torus),
+            "complete" => return Some(TopologySpec::Complete),
+            "hypercube" => return Some(TopologySpec::Hypercube),
+            "lollipop" => return Some(TopologySpec::Lollipop),
+            "caterpillar" => return Some(TopologySpec::Caterpillar),
+            "wheel" => return Some(TopologySpec::Wheel),
+            _ => {}
+        }
+        s.strip_prefix("gnp(")
+            .and_then(|r| r.strip_suffix("e-3)"))
+            .and_then(|p| p.parse::<u32>().ok())
+            .map(|per_mille| TopologySpec::Gnp { per_mille })
+    }
+
     /// Builds the concrete graph for nominal size `n`.
     ///
     /// `seed` only matters for the random families; deterministic
@@ -116,6 +142,30 @@ impl TopologySpec {
             TopologySpec::Wheel => generators::wheel(n.max(4)),
             TopologySpec::Gnp { per_mille } => {
                 generators::gnp_connected(n.max(2), *per_mille as f64 / 1000.0, seed)
+            }
+        }
+    }
+}
+
+impl Canon for TopologySpec {
+    fn canon(&self, enc: &mut FpEncoder) {
+        match self {
+            TopologySpec::Ring => enc.tag(0),
+            TopologySpec::Path => enc.tag(1),
+            TopologySpec::Star => enc.tag(2),
+            TopologySpec::RandTree => enc.tag(3),
+            TopologySpec::RandSparse => enc.tag(4),
+            TopologySpec::RandDense => enc.tag(5),
+            TopologySpec::Grid => enc.tag(6),
+            TopologySpec::Torus => enc.tag(7),
+            TopologySpec::Complete => enc.tag(8),
+            TopologySpec::Hypercube => enc.tag(9),
+            TopologySpec::Lollipop => enc.tag(10),
+            TopologySpec::Caterpillar => enc.tag(11),
+            TopologySpec::Wheel => enc.tag(12),
+            TopologySpec::Gnp { per_mille } => {
+                enc.tag(13);
+                enc.u64(u64::from(*per_mille));
             }
         }
     }
@@ -158,6 +208,31 @@ impl Scenario {
     pub fn seeds<const K: usize>(&self) -> [u64; K] {
         let mut state = self.seed;
         std::array::from_fn(|_| splitmix64(&mut state))
+    }
+
+    /// The canonical content fingerprint: a stable 128-bit hash over
+    /// the byte-canonical encoding of **what this run is** — topology
+    /// × size × algorithm × daemon × init plan × seed × step cap.
+    ///
+    /// Grid bookkeeping is deliberately excluded: `index` and `trial`
+    /// say *where* the scenario sits, not what it computes, and
+    /// `intra_threads` is seed-transparent (runs are byte-identical at
+    /// any value). Two scenarios with equal fingerprints therefore
+    /// produce identical [`crate::ScenarioRecord`]s up to those
+    /// position fields — the invariant the campaign result cache
+    /// ([`crate::cache`]) and the `ssr-checkpoint/v1` store are built
+    /// on.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut enc = FpEncoder::new();
+        enc.str("ssr-scenario/v1");
+        self.topology.canon(&mut enc);
+        enc.usize(self.n);
+        self.algorithm.canon(&mut enc);
+        self.daemon.canon(&mut enc);
+        self.init.canon(&mut enc);
+        enc.u64(self.seed);
+        enc.u64(self.step_cap);
+        enc.finish()
     }
 }
 
@@ -241,6 +316,86 @@ mod tests {
                     spec.label()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn topology_labels_round_trip_through_parse_label() {
+        for spec in [
+            TopologySpec::Ring,
+            TopologySpec::Path,
+            TopologySpec::Star,
+            TopologySpec::RandTree,
+            TopologySpec::RandSparse,
+            TopologySpec::RandDense,
+            TopologySpec::Grid,
+            TopologySpec::Torus,
+            TopologySpec::Complete,
+            TopologySpec::Hypercube,
+            TopologySpec::Lollipop,
+            TopologySpec::Caterpillar,
+            TopologySpec::Wheel,
+            TopologySpec::Gnp { per_mille: 250 },
+        ] {
+            assert_eq!(TopologySpec::parse_label(&spec.label()), Some(spec));
+        }
+        assert_eq!(TopologySpec::parse_label("möbius"), None);
+        assert_eq!(TopologySpec::parse_label("gnp(xe-3)"), None);
+    }
+
+    #[test]
+    fn fingerprint_ignores_grid_position_but_not_content() {
+        let base = Scenario {
+            index: 5,
+            topology: TopologySpec::Ring,
+            n: 8,
+            algorithm: families::unison_sdr(),
+            daemon: Daemon::Central,
+            init: InitPlan::Arbitrary,
+            trial: 0,
+            seed: 42,
+            step_cap: 1000,
+            intra_threads: 1,
+        };
+        let fp = base.fingerprint();
+        let mut moved = base.clone();
+        moved.index = 99;
+        moved.trial = 3;
+        moved.intra_threads = 4;
+        assert_eq!(moved.fingerprint(), fp, "position fields are excluded");
+        for (what, sc) in [
+            ("seed", {
+                let mut s = base.clone();
+                s.seed = 43;
+                s
+            }),
+            ("cap", {
+                let mut s = base.clone();
+                s.step_cap = 999;
+                s
+            }),
+            ("n", {
+                let mut s = base.clone();
+                s.n = 9;
+                s
+            }),
+            ("daemon", {
+                let mut s = base.clone();
+                s.daemon = Daemon::Synchronous;
+                s
+            }),
+            ("init", {
+                let mut s = base.clone();
+                s.init = InitPlan::Normal;
+                s
+            }),
+            ("topology", {
+                let mut s = base.clone();
+                s.topology = TopologySpec::Path;
+                s
+            }),
+        ] {
+            assert_ne!(sc.fingerprint(), fp, "{what} must be part of the key");
         }
     }
 

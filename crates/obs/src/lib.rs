@@ -52,7 +52,7 @@ pub use json::Value as JsonValue;
 pub use metrics::{Histogram, Metric, MetricsHub, MetricsSet, MetricsSnapshot};
 pub use observers::{ConflictObserver, ConflictSummary, MetricsObserver, TimelineObserver};
 pub use pipeline::{CompositeSink, PipelineMetrics};
-pub use progress::{JsonlProgress, NoProgress, Progress, StderrProgress};
+pub use progress::{BusSnapshot, JsonlProgress, NoProgress, Progress, ProgressBus, StderrProgress};
 pub use timeline::{RunTimeline, TimelineStep};
 pub use trace::{JsonlSink, RingSink};
 

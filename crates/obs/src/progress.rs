@@ -267,6 +267,197 @@ impl<W: Write + Send> Progress for JsonlProgress<W> {
     }
 }
 
+// ---------------------------------------------------------------------
+// ProgressBus: the shared live-event channel behind SSE streaming
+// ---------------------------------------------------------------------
+
+/// A point-in-time view of a [`ProgressBus`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusSnapshot {
+    /// Work items announced by `begin`.
+    pub total: usize,
+    /// Items completed so far.
+    pub done: usize,
+    /// Completed items that reported not-ok.
+    pub failed: usize,
+    /// Whether `finish` has been called.
+    pub finished: bool,
+    /// Number of event lines recorded so far (a cursor for
+    /// [`ProgressBus::events_since`]).
+    pub events: usize,
+}
+
+struct BusState {
+    events: Vec<String>,
+    snap: BusSnapshot,
+}
+
+/// A cloneable, in-memory progress/trace event bus: the campaign side
+/// writes through the [`Progress`] (and
+/// [`TraceSink`](ssr_runtime::trace::TraceSink)) impls, any number of
+/// readers poll [`ProgressBus::events_since`] — which blocks on a
+/// condvar until new events arrive — and stream them on (this is what
+/// feeds `ssr-serve`'s `text/event-stream` endpoint).
+///
+/// Events are the [`JsonlProgress`] line formats minus the wall-clock
+/// `elapsed_ms` field (bus contents are a deterministic function of
+/// the campaign), so a bus is a JSONL progress file that never touches
+/// disk; `RunEnded` trace events append `{"trace":"run-ended",...}`
+/// lines in between.
+///
+/// # Examples
+///
+/// ```
+/// use ssr_obs::progress::{Progress, ProgressBus};
+///
+/// let mut bus = ProgressBus::new();
+/// let reader = bus.clone();
+/// bus.begin(2);
+/// bus.item_done(0, "ring/n=8#0", true);
+/// let (events, cursor) = reader.events_since(0, std::time::Duration::ZERO);
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(cursor, 2);
+/// assert_eq!(events[0], "{\"progress\":\"begin\",\"total\":2}");
+/// assert_eq!(reader.snapshot().done, 1);
+/// ```
+#[derive(Clone)]
+pub struct ProgressBus {
+    state: std::sync::Arc<(std::sync::Mutex<BusState>, std::sync::Condvar)>,
+}
+
+impl ProgressBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        ProgressBus {
+            state: std::sync::Arc::new((
+                std::sync::Mutex::new(BusState {
+                    events: Vec::new(),
+                    snap: BusSnapshot::default(),
+                }),
+                std::sync::Condvar::new(),
+            )),
+        }
+    }
+
+    fn push(&self, line: String, update: impl FnOnce(&mut BusSnapshot)) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        st.events.push(line);
+        let events = st.events.len();
+        update(&mut st.snap);
+        st.snap.events = events;
+        cvar.notify_all();
+    }
+
+    /// The current counters.
+    pub fn snapshot(&self) -> BusSnapshot {
+        self.state.0.lock().unwrap().snap.clone()
+    }
+
+    /// Event lines recorded after cursor `from`, plus the new cursor.
+    ///
+    /// Blocks up to `timeout` waiting for news; returns early (and
+    /// possibly empty) once the bus is finished, so streaming readers
+    /// terminate promptly at campaign end.
+    pub fn events_since(&self, from: usize, timeout: Duration) -> (Vec<String>, usize) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        let deadline = Instant::now() + timeout;
+        while st.events.len() <= from && !st.snap.finished {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (next, timed_out) = cvar.wait_timeout(st, left).unwrap();
+            st = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        let events = if st.events.len() > from {
+            st.events[from..].to_vec()
+        } else {
+            Vec::new()
+        };
+        (events, st.events.len())
+    }
+}
+
+impl Default for ProgressBus {
+    fn default() -> Self {
+        ProgressBus::new()
+    }
+}
+
+impl Progress for ProgressBus {
+    fn begin(&mut self, total: usize) {
+        self.push(
+            format!("{{\"progress\":\"begin\",\"total\":{total}}}"),
+            |snap| {
+                snap.total = total;
+                snap.done = 0;
+                snap.failed = 0;
+                snap.finished = false;
+            },
+        );
+    }
+
+    fn item_done(&mut self, index: usize, label: &str, ok: bool) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        st.snap.done += 1;
+        if !ok {
+            st.snap.failed += 1;
+        }
+        let line = format!(
+            "{{\"progress\":\"item\",\"index\":{index},\"done\":{},\"total\":{},\"label\":{},\"ok\":{ok}}}",
+            st.snap.done,
+            st.snap.total,
+            json_string(label),
+        );
+        st.events.push(line);
+        st.snap.events = st.events.len();
+        cvar.notify_all();
+    }
+
+    fn finish(&mut self) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        let line = format!(
+            "{{\"progress\":\"end\",\"done\":{},\"total\":{},\"failed\":{}}}",
+            st.snap.done, st.snap.total, st.snap.failed,
+        );
+        st.events.push(line);
+        st.snap.events = st.events.len();
+        st.snap.finished = true;
+        cvar.notify_all();
+    }
+}
+
+impl ssr_runtime::trace::TraceSink for ProgressBus {
+    fn record(&mut self, event: &ssr_runtime::trace::TraceEvent) {
+        if let ssr_runtime::trace::TraceEvent::RunEnded {
+            steps,
+            moves,
+            rounds,
+            reason,
+        } = event
+        {
+            self.push(
+                format!(
+                    "{{\"trace\":\"run-ended\",\"steps\":{steps},\"moves\":{moves},\
+                     \"rounds\":{rounds},\"reason\":\"{reason}\"}}"
+                ),
+                |_| {},
+            );
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
 /// Compile-time guard: progress reporters cross the worker-pool
 /// boundary.
 #[allow(dead_code)]
@@ -275,6 +466,7 @@ fn assert_send() {
     is_send::<NoProgress>();
     is_send::<StderrProgress>();
     is_send::<JsonlProgress<BufWriter<File>>>();
+    is_send::<ProgressBus>();
 }
 
 #[cfg(test)]
@@ -313,6 +505,77 @@ mod tests {
         );
         assert!(!line.contains("running:"), "{line}");
         p.finish();
+    }
+
+    #[test]
+    fn bus_streams_events_to_a_blocking_reader() {
+        let mut bus = ProgressBus::new();
+        let reader = bus.clone();
+        let t = std::thread::spawn(move || {
+            let mut cursor = 0;
+            let mut lines = Vec::new();
+            loop {
+                let (events, next) = reader.events_since(cursor, Duration::from_secs(10));
+                cursor = next;
+                lines.extend(events);
+                if reader.snapshot().finished && cursor == reader.snapshot().events {
+                    return lines;
+                }
+            }
+        });
+        bus.begin(2);
+        bus.item_done(0, "a", true);
+        bus.item_done(1, "b", false);
+        bus.finish();
+        let lines = t.join().unwrap();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "{\"progress\":\"begin\",\"total\":2}");
+        assert_eq!(
+            lines[1],
+            "{\"progress\":\"item\",\"index\":0,\"done\":1,\"total\":2,\"label\":\"a\",\"ok\":true}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"progress\":\"end\",\"done\":2,\"total\":2,\"failed\":1}"
+        );
+        let snap = bus.snapshot();
+        assert_eq!((snap.total, snap.done, snap.failed), (2, 2, 1));
+        assert!(snap.finished);
+    }
+
+    #[test]
+    fn bus_records_run_ended_trace_events_only() {
+        use ssr_runtime::trace::{TraceEvent, TraceSink};
+        use ssr_runtime::TerminationReason;
+        let mut bus = ProgressBus::new();
+        assert!(!bus.wants_phase_timing());
+        bus.record(&TraceEvent::StepStarted {
+            step: 1,
+            enabled: 3,
+        });
+        bus.record(&TraceEvent::RunEnded {
+            steps: 5,
+            moves: 7,
+            rounds: 2,
+            reason: TerminationReason::Terminal,
+        });
+        let (events, _) = bus.events_since(0, Duration::ZERO);
+        assert_eq!(
+            events,
+            vec![
+                "{\"trace\":\"run-ended\",\"steps\":5,\"moves\":7,\"rounds\":2,\
+                 \"reason\":\"terminal\"}"
+            ]
+        );
+        assert!(bus.as_any_mut().is_some());
+    }
+
+    #[test]
+    fn bus_timeout_returns_empty_without_news() {
+        let bus = ProgressBus::new();
+        let (events, cursor) = bus.events_since(0, Duration::from_millis(10));
+        assert!(events.is_empty());
+        assert_eq!(cursor, 0);
     }
 
     #[test]

@@ -45,6 +45,29 @@ pub struct Artifacts {
     pub skipped: Vec<String>,
 }
 
+impl Artifacts {
+    /// Parses `text` as campaign JSONL and adds it under `name`,
+    /// keeping `campaigns` sorted by name — the in-memory counterpart
+    /// of [`load_dir`] finding a `.jsonl` record file, used by the
+    /// campaign service to render reports straight from its
+    /// content-addressed store.
+    pub fn push_campaign_jsonl(&mut self, name: &str, text: &str) -> Result<(), String> {
+        let rows = reader::parse_campaign_jsonl(text).map_err(|e| format!("{name}: {e}"))?;
+        self.campaigns.push((name.to_string(), rows));
+        self.campaigns.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(())
+    }
+
+    /// Parses `text` as a `ssr-metrics-v1` snapshot and adds it under
+    /// `name`, keeping `metrics` sorted by name.
+    pub fn push_metrics_json(&mut self, name: &str, text: &str) -> Result<(), String> {
+        let doc = reader::parse_metrics_json(text).map_err(|e| format!("{name}: {e}"))?;
+        self.metrics.push((name.to_string(), doc));
+        self.metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(())
+    }
+}
+
 /// Collects the relative (`/`-joined) paths of every regular file
 /// under `dir`, recursively.
 fn collect_files(dir: &Path, prefix: &str, out: &mut Vec<String>) -> Result<(), String> {
@@ -777,6 +800,23 @@ mod tests {
         assert!(one.contains("unison-sdr"));
         // The bounds marker for bound_rounds=24 is drawn.
         assert!(one.contains("class=\"marker\""));
+    }
+
+    #[test]
+    fn push_campaign_jsonl_matches_manual_parse_and_sorts() {
+        let line = r#"{"campaign":"c","index":0,"topology":"ring","n":8,"nodes":8,"edges":8,"max_degree":2,"diameter":4,"algorithm":"unison-sdr","daemon":"central","init":"arbitrary","trial":1,"seed":7,"reached":true,"terminal":true,"reason":"terminal","steps":10,"moves":12,"rounds":5,"max_moves_per_process":3,"bound_rounds":24,"bound_moves":null,"verdict":"pass"}"#;
+        let mut art = Artifacts::default();
+        art.push_campaign_jsonl("z.jsonl", line).unwrap();
+        art.push_campaign_jsonl("a.jsonl", line).unwrap();
+        assert_eq!(art.campaigns.len(), 2);
+        assert_eq!(art.campaigns[0].0, "a.jsonl");
+        assert_eq!(
+            art.campaigns[1].1,
+            reader::parse_campaign_jsonl(line).unwrap()
+        );
+        assert!(art
+            .push_campaign_jsonl("bad.jsonl", "{\"nope\":1}")
+            .is_err());
     }
 
     #[test]

@@ -208,6 +208,33 @@ impl Daemon {
             Daemon::Script { steps } => format!("script({})", steps.len()),
         }
     }
+
+    /// Parses a [`Daemon::label`] rendering back — the inverse used by
+    /// campaign-spec deserialization. `script(..)` labels return `None`:
+    /// a label only carries the schedule *length*, so the daemon cannot
+    /// be reconstructed from it.
+    pub fn parse_label(s: &str) -> Option<Daemon> {
+        match s {
+            "sync" => return Some(Daemon::Synchronous),
+            "central" => return Some(Daemon::Central),
+            "round-robin" => return Some(Daemon::RoundRobin),
+            "adv-high" => return Some(Daemon::PreferHighRules),
+            "adv-low" => return Some(Daemon::PreferLowRules),
+            "lex-min" => return Some(Daemon::LexMin),
+            _ => {}
+        }
+        let inner = |prefix: &str| {
+            s.strip_prefix(prefix)
+                .and_then(|r| r.strip_prefix('('))
+                .and_then(|r| r.strip_suffix(')'))
+        };
+        if let Some(p) = inner("subset").and_then(|r| r.strip_prefix("p=")) {
+            return p.parse::<f64>().ok().map(|p| Daemon::RandomSubset { p });
+        }
+        inner("aging")
+            .and_then(|p| p.parse::<u32>().ok())
+            .map(|patience| Daemon::Aging { patience })
+    }
 }
 
 /// Uniform choice among the elements of `xs` satisfying `keep`
@@ -418,6 +445,20 @@ mod tests {
         let mut out = Vec::new();
         let mut cursor = 1;
         daemon.select(&enabled, &masks, &waits, &mut cursor, &mut rng, &mut out);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse_label() {
+        for d in Daemon::all_strategies() {
+            assert_eq!(Daemon::parse_label(&d.label()), Some(d.clone()), "{d:?}");
+        }
+        // Script labels only carry the length: unreconstructable.
+        let script = Daemon::Script {
+            steps: std::sync::Arc::new(vec![vec![NodeId(0)]]),
+        };
+        assert_eq!(Daemon::parse_label(&script.label()), None);
+        assert_eq!(Daemon::parse_label("nonsense"), None);
+        assert_eq!(Daemon::parse_label("subset(p=oops)"), None);
     }
 
     #[test]

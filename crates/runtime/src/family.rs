@@ -81,6 +81,17 @@ impl Amount {
             Amount::N => "n".into(),
         }
     }
+
+    /// Parses a [`Amount::label`] rendering back (`None` on anything
+    /// else).
+    pub fn parse_label(s: &str) -> Option<Amount> {
+        match s {
+            "n/4" => Some(Amount::QuarterN),
+            "n/2" => Some(Amount::HalfN),
+            "n" => Some(Amount::N),
+            _ => s.parse::<u64>().ok().map(Amount::Fixed),
+        }
+    }
 }
 
 /// How the initial configuration of a run is produced.
@@ -122,6 +133,26 @@ impl InitPlan {
             InitPlan::CorruptClocks { k } => format!("corrupt({})", k.label()),
         }
     }
+
+    /// Parses a [`InitPlan::label`] rendering back — the inverse used
+    /// by campaign-spec deserialization (`None` on anything else).
+    pub fn parse_label(s: &str) -> Option<InitPlan> {
+        match s {
+            "arbitrary" => return Some(InitPlan::Arbitrary),
+            "normal" => return Some(InitPlan::Normal),
+            _ => {}
+        }
+        let inner = |prefix: &str| {
+            s.strip_prefix(prefix)
+                .and_then(|r| r.strip_prefix('('))
+                .and_then(|r| r.strip_suffix(')'))
+                .and_then(Amount::parse_label)
+        };
+        if let Some(gap) = inner("tear") {
+            return Some(InitPlan::Tear { gap });
+        }
+        inner("corrupt").map(|k| InitPlan::CorruptClocks { k })
+    }
 }
 
 /// Outcome of checking a run against its closed-form bound.
@@ -155,6 +186,22 @@ impl fmt::Display for Verdict {
             Verdict::Skip => "skip",
         };
         write!(f, "{s}")
+    }
+}
+
+impl FromStr for Verdict {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] rendering back — used when replaying
+    /// persisted records (checkpoints) into memory.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pass" => Ok(Verdict::Pass),
+            "fail" => Ok(Verdict::Fail),
+            "no-bound" => Ok(Verdict::NoBound),
+            "skip" => Ok(Verdict::Skip),
+            other => Err(format!("unknown verdict {other:?}")),
+        }
     }
 }
 
@@ -913,6 +960,29 @@ mod tests {
         assert_eq!(Amount::HalfN.resolve(12), 6);
         assert_eq!(Amount::N.resolve(12), 12);
         assert_eq!(Amount::QuarterN.resolve(1), 1, "clamped to ≥ 1");
+    }
+
+    #[test]
+    fn init_plan_labels_round_trip() {
+        let plans = [
+            InitPlan::Arbitrary,
+            InitPlan::Normal,
+            InitPlan::Tear { gap: Amount::N },
+            InitPlan::Tear {
+                gap: Amount::Fixed(7),
+            },
+            InitPlan::CorruptClocks { k: Amount::HalfN },
+            InitPlan::CorruptClocks {
+                k: Amount::QuarterN,
+            },
+        ];
+        for p in plans {
+            assert_eq!(InitPlan::parse_label(&p.label()), Some(p), "{p:?}");
+        }
+        assert_eq!(InitPlan::parse_label("tear(?)"), None);
+        assert_eq!(InitPlan::parse_label("bogus"), None);
+        assert_eq!("pass".parse::<Verdict>(), Ok(Verdict::Pass));
+        assert!("nope".parse::<Verdict>().is_err());
     }
 
     #[test]

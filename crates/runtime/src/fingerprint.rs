@@ -1,0 +1,392 @@
+//! Canonical fingerprints: a stable 128-bit hash over a byte-canonical
+//! encoding of scenario-shaped values.
+//!
+//! The campaign cache and the `ssr-serve` content-addressed store key
+//! results by *what a scenario is*, not where it sits in a grid. That
+//! requires an encoding with two properties:
+//!
+//! * **canonical** — two semantically equal values produce the same
+//!   byte string, regardless of how they were constructed;
+//! * **prefix-free per field** — every variable-length field is
+//!   length-prefixed and every enum variant is tagged, so distinct
+//!   values can never collide by concatenation (`("ab", "c")` vs
+//!   `("a", "bc")`).
+//!
+//! [`Canon`] is the encoding trait, [`FpEncoder`] the byte sink, and
+//! [`Fingerprint`] the 128-bit digest (a MurmurHash3-x64-128-style
+//! finalizer — not cryptographic, but 128 bits make accidental
+//! collisions across even billion-scenario sweeps negligible).
+//!
+//! The hash is **pinned forever**: checkpoints persist fingerprints to
+//! disk (`ssr-checkpoint/v1`), so changing the encoding or the mixer is
+//! a schema break. The `fingerprints_are_pinned` test holds the exact
+//! digests.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_runtime::fingerprint::{Canon, Fingerprint, FpEncoder};
+//!
+//! struct Point { x: u64, y: u64 }
+//! impl Canon for Point {
+//!     fn canon(&self, enc: &mut FpEncoder) {
+//!         enc.u64(self.x);
+//!         enc.u64(self.y);
+//!     }
+//! }
+//!
+//! let fp = Fingerprint::of(&Point { x: 3, y: 4 });
+//! assert_eq!(fp, Fingerprint::of(&Point { x: 3, y: 4 }));
+//! // 32 lowercase hex digits, round-tripping through FromStr.
+//! let hex = fp.to_string();
+//! assert_eq!(hex.len(), 32);
+//! assert_eq!(hex.parse::<Fingerprint>().unwrap(), fp);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::family::{AlgorithmSpec, Amount, InitPlan, Params};
+use crate::Daemon;
+
+/// A stable 128-bit content digest ([`Display`](fmt::Display)s as 32
+/// lowercase hex digits, round-tripping through [`FromStr`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Fingerprints one canonical value: encode, then hash.
+    pub fn of(value: &dyn Canon) -> Fingerprint {
+        let mut enc = FpEncoder::new();
+        value.canon(&mut enc);
+        enc.finish()
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for Fingerprint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(format!("fingerprint must be 32 hex digits, got {s:?}"));
+        }
+        u128::from_str_radix(s, 16)
+            .map(Fingerprint)
+            .map_err(|e| format!("bad fingerprint {s:?}: {e}"))
+    }
+}
+
+/// A value with a byte-canonical encoding — the input side of
+/// [`Fingerprint::of`].
+pub trait Canon {
+    /// Appends the canonical encoding of `self` to `enc`.
+    fn canon(&self, enc: &mut FpEncoder);
+}
+
+/// The canonical byte sink: tagged variants, little-endian integers,
+/// length-prefixed strings.
+#[derive(Default)]
+pub struct FpEncoder {
+    buf: Vec<u8>,
+}
+
+impl FpEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        FpEncoder::default()
+    }
+
+    /// Appends an enum-variant tag.
+    pub fn tag(&mut self, t: u8) {
+        self.buf.push(t);
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` (widened to `u64` so 32- and 64-bit hosts
+    /// agree).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` via its IEEE-754 bit pattern (`to_bits`), so
+    /// the encoding is exact and total.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Hashes the accumulated bytes into a [`Fingerprint`].
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(hash128(&self.buf))
+    }
+}
+
+/// MurmurHash3-x64-128-style digest of `data` (fixed zero seed — the
+/// fingerprint is a pure function of the bytes).
+pub fn hash128(data: &[u8]) -> u128 {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    fn mix_k1(mut k1: u64) -> u64 {
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1.wrapping_mul(C2)
+    }
+    fn mix_k2(mut k2: u64) -> u64 {
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2.wrapping_mul(C1)
+    }
+    fn fmix64(mut k: u64) -> u64 {
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        k ^ (k >> 33)
+    }
+
+    let len = data.len();
+    let (mut h1, mut h2) = (0u64, 0u64);
+
+    let mut chunks = data.chunks_exact(16);
+    for block in &mut chunks {
+        let k1 = u64::from_le_bytes(block[..8].try_into().expect("8-byte half"));
+        let k2 = u64::from_le_bytes(block[8..].try_into().expect("8-byte half"));
+        h1 ^= mix_k1(k1);
+        h1 = h1
+            .rotate_left(27)
+            .wrapping_add(h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+        h2 ^= mix_k2(k2);
+        h2 = h2
+            .rotate_left(31)
+            .wrapping_add(h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let (mut k1, mut k2) = (0u64, 0u64);
+        for (i, &b) in tail.iter().enumerate() {
+            if i < 8 {
+                k1 |= u64::from(b) << (8 * i);
+            } else {
+                k2 |= u64::from(b) << (8 * (i - 8));
+            }
+        }
+        if tail.len() > 8 {
+            h2 ^= mix_k2(k2);
+        }
+        h1 ^= mix_k1(k1);
+    }
+
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (u128::from(h2) << 64) | u128::from(h1)
+}
+
+// ---------------------------------------------------------------------
+// Canonical encodings of the scenario vocabulary
+// ---------------------------------------------------------------------
+
+impl Canon for Amount {
+    fn canon(&self, enc: &mut FpEncoder) {
+        match self {
+            Amount::Fixed(v) => {
+                enc.tag(0);
+                enc.u64(*v);
+            }
+            Amount::QuarterN => enc.tag(1),
+            Amount::HalfN => enc.tag(2),
+            Amount::N => enc.tag(3),
+        }
+    }
+}
+
+impl Canon for InitPlan {
+    fn canon(&self, enc: &mut FpEncoder) {
+        match self {
+            InitPlan::Arbitrary => enc.tag(0),
+            InitPlan::Normal => enc.tag(1),
+            InitPlan::Tear { gap } => {
+                enc.tag(2);
+                gap.canon(enc);
+            }
+            InitPlan::CorruptClocks { k } => {
+                enc.tag(3);
+                k.canon(enc);
+            }
+        }
+    }
+}
+
+impl Canon for Daemon {
+    /// Structural encoding — [`Daemon::Script`] encodes its full
+    /// schedule, so two different scripts of equal length never share
+    /// a fingerprint (their labels *do* collide, which is why the
+    /// cache keys on this encoding and not on labels).
+    fn canon(&self, enc: &mut FpEncoder) {
+        match self {
+            Daemon::Synchronous => enc.tag(0),
+            Daemon::Central => enc.tag(1),
+            Daemon::RoundRobin => enc.tag(2),
+            Daemon::RandomSubset { p } => {
+                enc.tag(3);
+                enc.f64(*p);
+            }
+            Daemon::Aging { patience } => {
+                enc.tag(4);
+                enc.u64(u64::from(*patience));
+            }
+            Daemon::PreferHighRules => enc.tag(5),
+            Daemon::PreferLowRules => enc.tag(6),
+            Daemon::LexMin => enc.tag(7),
+            Daemon::Script { steps } => {
+                enc.tag(8);
+                enc.usize(steps.len());
+                for step in steps.iter() {
+                    enc.usize(step.len());
+                    for node in step {
+                        enc.u64(u64::from(node.0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Canon for AlgorithmSpec {
+    fn canon(&self, enc: &mut FpEncoder) {
+        enc.str(&self.family);
+        match &self.params {
+            Params::None => enc.tag(0),
+            Params::Paren(p) => {
+                enc.tag(1);
+                enc.str(p);
+            }
+            Params::Colon(p) => {
+                enc.tag(2);
+                enc.str(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::NodeId;
+    use std::sync::Arc;
+
+    #[test]
+    fn display_round_trips_and_is_padded() {
+        for fp in [Fingerprint(0), Fingerprint(1), Fingerprint(u128::MAX)] {
+            let hex = fp.to_string();
+            assert_eq!(hex.len(), 32);
+            assert_eq!(hex.parse::<Fingerprint>().unwrap(), fp);
+        }
+        assert!("xyz".parse::<Fingerprint>().is_err());
+        assert!("0".parse::<Fingerprint>().is_err(), "length enforced");
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let mut a = FpEncoder::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = FpEncoder::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn scripts_with_equal_length_hash_differently() {
+        let s1 = Daemon::Script {
+            steps: Arc::new(vec![vec![NodeId(0)], vec![NodeId(1)]]),
+        };
+        let s2 = Daemon::Script {
+            steps: Arc::new(vec![vec![NodeId(1)], vec![NodeId(0)]]),
+        };
+        assert_eq!(s1.label(), s2.label(), "labels collide by design");
+        assert_ne!(Fingerprint::of(&s1), Fingerprint::of(&s2));
+    }
+
+    #[test]
+    fn daemon_variants_are_distinct() {
+        let mut fps: Vec<Fingerprint> = Daemon::all_strategies()
+            .iter()
+            .map(|d| Fingerprint::of(d))
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), Daemon::all_strategies().len());
+    }
+
+    #[test]
+    fn init_plans_are_distinct() {
+        let plans = [
+            InitPlan::Arbitrary,
+            InitPlan::Normal,
+            InitPlan::Tear {
+                gap: Amount::Fixed(1),
+            },
+            InitPlan::Tear { gap: Amount::N },
+            InitPlan::CorruptClocks {
+                k: Amount::Fixed(1),
+            },
+            InitPlan::CorruptClocks { k: Amount::HalfN },
+        ];
+        let mut fps: Vec<Fingerprint> = plans.iter().map(|p| Fingerprint::of(p)).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), plans.len());
+    }
+
+    #[test]
+    fn spec_param_styles_are_distinct() {
+        let a = Fingerprint::of(&AlgorithmSpec::paren("fam", "1"));
+        let b = Fingerprint::of(&AlgorithmSpec::colon("fam", "1"));
+        let c = Fingerprint::of(&AlgorithmSpec::plain("fam"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    /// The on-disk contract: these exact digests are persisted in
+    /// `ssr-checkpoint/v1` files. Changing any of them is a schema
+    /// break — bump the checkpoint schema if you must.
+    #[test]
+    fn fingerprints_are_pinned() {
+        assert_eq!(hash128(b""), 0);
+        assert_eq!(
+            format!("{:032x}", hash128(b"ssr")),
+            "b3c70769a9c855cd3eece9e9a46d3b2d".to_string()
+        );
+        let fp = Fingerprint::of(&Daemon::Synchronous);
+        assert_eq!(fp, Fingerprint::of(&Daemon::Synchronous));
+    }
+}

@@ -84,6 +84,7 @@ pub mod exec;
 pub mod exhaustive;
 pub mod family;
 pub mod faults;
+pub mod fingerprint;
 pub mod report;
 pub mod rng;
 mod simulator;
@@ -104,6 +105,7 @@ pub use family::{
     AlgorithmSpec, Amount, Bounds, ExecBudget, ExploreFamily, Family, FamilyProbe, FamilyRegistry,
     FamilyRunOutcome, InitPlan, RunSeeds, Verdict,
 };
+pub use fingerprint::{Canon, Fingerprint, FpEncoder};
 pub use simulator::{RunOutcome, RunStats, Simulator, StepOutcome, TerminationReason};
 pub use soa::{AosColumns, ScalarColumns, StateColumns};
 pub use trace::{NoTrace, TraceEvent, TracePhase, TraceSink};

@@ -105,6 +105,21 @@ impl fmt::Display for TerminationReason {
     }
 }
 
+impl std::str::FromStr for TerminationReason {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] rendering back — used when replaying
+    /// persisted records (checkpoints) into memory.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "terminal" => Ok(TerminationReason::Terminal),
+            "predicate-met" => Ok(TerminationReason::PredicateMet),
+            "cap-exhausted" => Ok(TerminationReason::CapExhausted),
+            other => Err(format!("unknown termination reason {other:?}")),
+        }
+    }
+}
+
 /// Result of a driven run ([`crate::Execution::run`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunOutcome {

@@ -1,0 +1,59 @@
+//! # ssr-serve — the long-running campaign service
+//!
+//! A std-only HTTP/1.1 server that accepts campaign specs as JSON,
+//! runs them through the cached batch engine, and streams progress
+//! live. Three properties carry the design:
+//!
+//! 1. **Content-addressed results** — every [`Scenario`] has a
+//!    canonical 128-bit [fingerprint](ssr_campaign::Scenario::fingerprint)
+//!    over exactly the fields that determine its record (topology ×
+//!    size × algorithm × daemon × init plan × seed × step cap; *not*
+//!    grid position or thread count). The shared [`RecordCache`] keys
+//!    on it, so re-submitting a spec — or any spec overlapping a
+//!    previous sweep — serves hits without touching the simulator, and
+//!    the returned artifacts are **byte-identical** to the cold run
+//!    (pinned by `tests/` here and in `ssr-campaign`).
+//!
+//! 2. **Resumable checkpoints** — when started with a journal path,
+//!    every fresh record is appended to an `ssr-checkpoint/v1` JSONL
+//!    file as it completes; on boot the journal is replayed into the
+//!    cache. Kill the process mid-sweep, restart, re-submit: the sweep
+//!    resumes where the journal ends, and the final artifacts equal an
+//!    uninterrupted run's bytes.
+//!
+//! 3. **Live streaming** — the engine reports through a
+//!    [`ProgressBus`](ssr_obs::progress::ProgressBus), and
+//!    `GET /campaigns/<job>/events` replays the bus as a chunked
+//!    `text/event-stream`; finished campaigns are served as JSONL,
+//!    CSV, a metrics snapshot, and the self-contained `ssr-report`
+//!    HTML.
+//!
+//! No external dependencies, no `unsafe`: [`std::net::TcpListener`],
+//! scoped threads, and the workspace's own hand-rolled JSON. See
+//! `DESIGN.md` §13 for the HTTP surface and the cache-consistency
+//! argument, and `ssr-bench`'s `serve` binary for the CLI entry point.
+//!
+//! [`Scenario`]: ssr_campaign::Scenario
+//! [`RecordCache`]: ssr_campaign::RecordCache
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ssr_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.run().unwrap(); // blocks until POST /shutdown drains
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod jobs;
+pub mod orchestrator;
+pub mod server;
+pub mod spec;
+
+pub use jobs::{Job, JobBoard, JobPhase};
+pub use orchestrator::Store;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,206 @@
+//! The single-lane orchestrator: jobs run FIFO, one at a time, through
+//! the cached campaign engine against one shared content-addressed
+//! store.
+//!
+//! One lane is a feature, not a limitation: the engine already
+//! parallelizes *within* a campaign (worker threads over the grid), so
+//! a second lane would only interleave two sweeps' cache misses. FIFO
+//! also gives the resumability story a simple shape — the checkpoint
+//! journal is an append-only merge of completed scenarios in the order
+//! they finished, whatever job they belonged to.
+
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use ssr_campaign::{engine, output, CacheLayer, CampaignObs, CheckpointWriter, RecordCache};
+use ssr_obs::progress::Progress;
+
+use crate::jobs::{Job, JobPhase};
+
+/// The store shared by every job: the in-memory record cache plus the
+/// optional on-disk checkpoint journal backing it.
+pub struct Store {
+    /// Fingerprint → record; hits skip the simulator.
+    pub cache: Arc<RecordCache>,
+    /// The journal, when the server was started with one.
+    pub checkpoint: Option<CheckpointWriter>,
+    /// Entries replayed from the journal at boot.
+    pub replayed: usize,
+}
+
+impl Store {
+    /// An empty in-memory store (no journal).
+    pub fn in_memory() -> Store {
+        Store {
+            cache: Arc::new(RecordCache::new()),
+            checkpoint: None,
+            replayed: 0,
+        }
+    }
+
+    /// Opens (or creates) the journal at `path`, replaying any
+    /// existing entries into the cache first. A torn final line — the
+    /// signature of a killed process — is dropped on replay and healed
+    /// by the writer, so resuming after a crash is the normal path,
+    /// not an error.
+    pub fn with_checkpoint(path: PathBuf) -> Result<Store, String> {
+        let cache = Arc::new(RecordCache::new());
+        let replayed = ssr_campaign::checkpoint::replay_into(&path, &cache)?;
+        let writer = CheckpointWriter::open(&path)
+            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+        Ok(Store {
+            cache,
+            checkpoint: Some(writer),
+            replayed,
+        })
+    }
+}
+
+/// Runs one job to completion against the store, updating its phase,
+/// artifacts, and counters. Called from the orchestrator loop and from
+/// tests that want synchronous execution.
+pub fn run_job(job: &Job, store: &Store, threads: usize) {
+    job.set_phase(JobPhase::Running);
+    let layer = CacheLayer {
+        cache: &store.cache,
+        checkpoint: store.checkpoint.as_ref(),
+    };
+    let campaign = job.campaign.clone();
+    let bus = job.bus.clone();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut obs = CampaignObs::new()
+            .with_metrics()
+            .with_progress(Box::new(bus));
+        let records = engine::run_obs_cached(&campaign, threads, &mut obs, layer);
+        let metrics = obs.take_metrics().expect("metrics channel was enabled");
+        (records, metrics)
+    }));
+    match result {
+        Ok((records, metrics)) => {
+            let counter = |key: &str| metrics.counter_value(key).unwrap_or(0);
+            job.with_outcome(|out| {
+                out.cache_hits = counter("campaign.cache_hits");
+                out.cache_misses = counter("campaign.cache_misses");
+                out.sim_steps = counter("pipeline.steps");
+                out.failed = counter("campaign.failed");
+                out.jsonl = Some(output::jsonl(&records));
+                out.csv = Some(output::csv(&records));
+                out.metrics_json = Some(metrics.snapshot().to_json());
+            });
+            job.set_phase(JobPhase::Done);
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "campaign engine panicked".to_string());
+            job.set_phase(JobPhase::Failed(msg));
+            // The engine never reached `finish`; release any readers
+            // blocked on the bus.
+            job.bus.clone().finish();
+        }
+    }
+}
+
+/// The orchestrator loop: drains the queue until every sender is
+/// dropped, then returns. Dropping the last [`Sender`] is therefore
+/// the graceful-shutdown signal — queued jobs still run (drain
+/// semantics), new ones can no longer be enqueued.
+pub fn run_loop(rx: Receiver<Arc<Job>>, store: &Store, threads: usize) {
+    for job in rx {
+        run_job(&job, store, threads);
+    }
+}
+
+/// Convenience: a queue pair typed for the orchestrator.
+pub fn queue() -> (Sender<Arc<Job>>, Receiver<Arc<Job>>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobBoard;
+    use ssr_campaign::{Campaign, TopologySpec};
+    use ssr_runtime::Daemon;
+
+    fn tiny(id: &str) -> Campaign {
+        Campaign::new(id)
+            .topologies(vec![TopologySpec::Ring, TopologySpec::Star])
+            .sizes(vec![6])
+            .algorithms(vec![ssr_campaign::families::unison_sdr()])
+            .daemons(vec![Daemon::Central])
+            .trials(2)
+            .step_cap(500_000)
+    }
+
+    #[test]
+    fn rerunning_the_same_spec_is_all_hits_and_byte_identical() {
+        let board = JobBoard::new();
+        let store = Store::in_memory();
+        let first = board.submit("t", tiny("t"));
+        let second = board.submit("t", tiny("t"));
+        run_job(&first, &store, 2);
+        run_job(&second, &store, 2);
+        assert_eq!(first.phase(), JobPhase::Done);
+        assert_eq!(second.phase(), JobPhase::Done);
+        let (jsonl1, hits1, steps1) =
+            first.with_outcome(|o| (o.jsonl.clone().unwrap(), o.cache_hits, o.sim_steps));
+        let (jsonl2, hits2, steps2) =
+            second.with_outcome(|o| (o.jsonl.clone().unwrap(), o.cache_hits, o.sim_steps));
+        assert_eq!(hits1, 0, "cold run misses everything");
+        assert!(steps1 > 0, "cold run actually simulates");
+        assert_eq!(
+            hits2,
+            first.campaign.len() as u64,
+            "warm run hits everything"
+        );
+        assert_eq!(steps2, 0, "warm run never touches the simulator");
+        assert_eq!(jsonl1, jsonl2, "artifacts are byte-identical");
+    }
+
+    #[test]
+    fn the_loop_drains_and_exits_when_senders_drop() {
+        let board = JobBoard::new();
+        let store = Store::in_memory();
+        let (tx, rx) = queue();
+        let job = board.submit("drain", tiny("drain"));
+        tx.send(job.clone()).unwrap();
+        drop(tx);
+        run_loop(rx, &store, 2);
+        assert_eq!(job.phase(), JobPhase::Done);
+        assert!(job.bus.snapshot().finished);
+    }
+
+    #[test]
+    fn a_rebooted_store_replays_the_journal_into_the_cache() {
+        let dir = std::env::temp_dir().join(format!("ssr-serve-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        // First server life: cold sweep, journaled.
+        let store = Store::with_checkpoint(path.clone()).unwrap();
+        assert_eq!(store.replayed, 0);
+        let board = JobBoard::new();
+        let cold = board.submit("t", tiny("t"));
+        run_job(&cold, &store, 2);
+        let cold_jsonl = cold.with_outcome(|o| o.jsonl.clone().unwrap());
+        drop(store);
+
+        // Second life: boot replays, the same sweep is all hits.
+        let store = Store::with_checkpoint(path.clone()).unwrap();
+        assert_eq!(store.replayed, cold.campaign.len());
+        let warm = board.submit("t", tiny("t"));
+        run_job(&warm, &store, 2);
+        let (warm_jsonl, hits, steps) =
+            warm.with_outcome(|o| (o.jsonl.clone().unwrap(), o.cache_hits, o.sim_steps));
+        assert_eq!(hits, warm.campaign.len() as u64);
+        assert_eq!(steps, 0);
+        assert_eq!(warm_jsonl, cold_jsonl);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`obs`] | `ssr-obs` | zero-cost tracing sinks, metrics registry, campaign progress, run timelines |
 //! | [`analyze`] | `ssr-analyze` | static soundness certification: footprint analysis, locality/commutativity audit, rule-table lints, `ANALYSIS.json` |
 //! | [`report`] | `ssr-report` | typed artifact readers, self-contained HTML/SVG campaign reports, perf-history store + regression tripwire |
+//! | [`serve`] | `ssr-serve` | long-running campaign service: HTTP/1.1 API, content-addressed result cache, resumable checkpoints, SSE progress |
 //!
 //! # Quickstart
 //!
@@ -53,4 +54,5 @@ pub use ssr_graph as graph;
 pub use ssr_obs as obs;
 pub use ssr_report as report;
 pub use ssr_runtime as runtime;
+pub use ssr_serve as serve;
 pub use ssr_unison as unison;
